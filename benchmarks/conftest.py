@@ -1,0 +1,23 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper at ``quick`` scale
+and prints the series it produces, so `pytest benchmarks/ --benchmark-only -s`
+doubles as the reproduction report generator.  The pytest-benchmark timing
+wraps the experiment run itself.
+"""
+
+import pytest
+
+
+def report(title, rows):
+    """Print a small aligned table under a heading (visible with -s)."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print("   " + "  ".join(str(item) for item in row))
+
+
+@pytest.fixture(scope="session")
+def quick_scale():
+    from repro.experiments.common import QUICK
+
+    return QUICK

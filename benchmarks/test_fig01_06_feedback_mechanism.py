@@ -1,0 +1,97 @@
+"""Benchmarks regenerating the feedback-mechanism figures (Figures 1-6)."""
+
+from conftest import report
+
+from repro.experiments.feedback_figures import (
+    figure1_bias_cdfs,
+    figure2_time_value_distribution,
+    figure3_cancellation_methods,
+    figure4_expected_messages,
+    figure5_response_times,
+    figure6_report_quality,
+)
+
+
+def test_fig01_bias_cdf(benchmark):
+    """Figure 1: CDF of the feedback time for the biasing methods."""
+    curves = benchmark(figure1_bias_cdfs, samples=5000)
+    rows = [("time (RTT)", *curves.keys())]
+    for i in range(0, len(curves["exponential"]), 20):
+        t = curves["exponential"][i][0]
+        rows.append((round(t, 2), *(round(curves[k][i][1], 3) for k in curves)))
+    report("Figure 1: feedback-time CDF", rows)
+    # The offset method delays the earliest responses of an uncongested
+    # receiver (ratio 0.5) relative to plain exponential timers.
+    assert curves["offset"][10][1] <= curves["exponential"][10][1] + 1e-9
+
+
+def test_fig02_time_value_distribution(benchmark):
+    """Figure 2: time-value scatter of sent feedback."""
+    scatter = benchmark(figure2_time_value_distribution, num_receivers=100)
+    rows = [("variant", "responses", "best value sent")]
+    for label, points in scatter.items():
+        best = min((v for _t, v in points), default=float("nan"))
+        rows.append((label, len(points), round(best, 3)))
+    report("Figure 2: time-value distribution", rows)
+    assert all(len(points) >= 1 for points in scatter.values())
+
+
+def test_fig03_cancellation_methods(benchmark):
+    """Figure 3: responses per round for delta = 1.0 / 0.1 / 0.0."""
+    curves = benchmark(
+        figure3_cancellation_methods, receiver_counts=(1, 10, 100, 1000, 5000), rounds=5
+    )
+    rows = [("n", *curves.curves.keys())]
+    for i, n in enumerate(curves.x_values):
+        rows.append((n, *(round(curves.curves[k][i], 1) for k in curves.curves)))
+    report("Figure 3: feedback cancellation methods", rows)
+    # delta = 0 ("higher suppressed") produces the most feedback at large n.
+    assert (
+        curves.curves["higher_suppressed"][-1]
+        >= curves.curves["ten_percent_lower_suppressed"][-1]
+    )
+
+
+def test_fig04_expected_messages(benchmark):
+    """Figure 4: expected number of feedback messages over (T', n)."""
+    surface = benchmark(
+        figure4_expected_messages,
+        receiver_counts=(1, 10, 100, 1000, 10000, 100000),
+        max_delays_rtts=(2.0, 3.0, 4.0, 5.0, 6.0),
+    )
+    rows = [("T' (RTTs)", "n=1", "n=100", "n=10000", "n=100000")]
+    for t_prime, series in surface.items():
+        values = dict(series)
+        rows.append(
+            (t_prime, *(round(values[n], 1) for n in (1, 100, 10000, 100000)))
+        )
+    report("Figure 4: expected number of feedback messages", rows)
+    # T' in the 3-4 RTT range keeps the worst case to a few tens of messages.
+    assert dict(surface[4.0])[10000] < 60
+    # Underestimating the receiver set (n = 10 N) causes an implosion.
+    assert dict(surface[4.0])[100000] > dict(surface[4.0])[10000]
+
+
+def test_fig05_response_time(benchmark):
+    """Figure 5: feedback delay for the bias variants."""
+    curves = benchmark(figure5_response_times, receiver_counts=(1, 10, 100, 1000), rounds=5)
+    rows = [("n", *curves.curves.keys())]
+    for i, n in enumerate(curves.x_values):
+        rows.append((n, *(round(curves.curves[k][i], 2) for k in curves.curves)))
+    report("Figure 5: response time (RTTs)", rows)
+    for series in curves.curves.values():
+        assert series[-1] < series[0]  # logarithmic decrease with n
+
+
+def test_fig06_report_quality(benchmark):
+    """Figure 6: quality of the reported rate for the bias variants."""
+    curves = benchmark(figure6_report_quality, receiver_counts=(10, 100, 1000), rounds=8)
+    rows = [("n", *curves.curves.keys())]
+    for i, n in enumerate(curves.x_values):
+        rows.append((n, *(round(curves.curves[k][i], 3) for k in curves.curves)))
+    report("Figure 6: deviation of reported rate from true minimum", rows)
+    # Biased feedback reports rates much closer to the true minimum than
+    # unbiased exponential timers (paper: ~20 % vs a few percent).
+    assert (
+        sum(curves.curves["basic_offset"]) < sum(curves.curves["unbiased_exponential"])
+    )

@@ -1,0 +1,40 @@
+"""Benchmarks for the RTT-measurement figures (Figures 12 and 13)."""
+
+from conftest import report
+
+from repro.experiments import rtt_experiments
+
+
+def test_fig12_rtt_acquisition(benchmark):
+    """Figure 12: number of receivers with a valid RTT estimate over time."""
+    result = benchmark.pedantic(
+        rtt_experiments.run_rtt_acquisition,
+        kwargs={"scale": "quick", "num_receivers": 200, "duration": 120.0},
+        iterations=1,
+        rounds=1,
+    )
+    rows = [("time (s)", "receivers with valid RTT", f"of {result.num_receivers}")]
+    for t, count in result.samples[:: max(1, len(result.samples) // 12)]:
+        rows.append((round(t, 1), count, ""))
+    report("Figure 12: rate of initial RTT measurements", rows)
+    counts = [count for _t, count in result.samples]
+    # Monotone non-decreasing acquisition, a handful per feedback round.
+    assert all(a <= b for a, b in zip(counts, counts[1:]))
+    assert counts[-1] > counts[len(counts) // 4]
+    assert counts[-1] <= result.num_receivers
+
+
+def test_fig13_rtt_change_reaction(benchmark):
+    """Figure 13: delay until a receiver whose RTT increased becomes the CLR."""
+    results = benchmark.pedantic(
+        rtt_experiments.run_rtt_change_reaction,
+        kwargs={"scale": "quick", "num_receivers": 100, "change_times": (10.0, 40.0)},
+        iterations=1,
+        rounds=1,
+    )
+    rows = [("time of change (s)", "reaction delay (s)", "reacted")]
+    for entry in results:
+        rows.append((round(entry.change_time, 1), round(entry.reaction_delay, 1), entry.reacted))
+    report("Figure 13: responsiveness to changes in the RTT", rows)
+    assert len(results) == 2
+    assert all(r.reaction_delay > 0 for r in results)

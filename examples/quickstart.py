@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: a TFMCC session with three receivers behind one bottleneck.
+
+Builds a dumbbell topology, attaches a TFMCC sender and three receivers,
+runs the simulation for a minute of simulated time and prints the sending
+rate, the per-receiver throughput, the measured loss event rates and RTTs.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Network, Simulator, TFMCCConfig, TFMCCSession, ThroughputMonitor
+
+
+def main() -> None:
+    sim = Simulator(seed=7)
+    # 2 Mbit/s bottleneck with 20 ms one-way delay, fast access links.
+    network = Network.dumbbell(
+        sim,
+        num_left=1,
+        num_right=3,
+        bottleneck_bandwidth=2e6,
+        bottleneck_delay=0.02,
+        access_bandwidth=100e6,
+        access_delay=0.001,
+    )
+    monitor = ThroughputMonitor(sim, interval=1.0)
+    config = TFMCCConfig()  # paper defaults
+    session = TFMCCSession(sim, network, sender_node="src0", config=config, monitor=monitor)
+    receivers = [session.add_receiver(f"dst{i}") for i in range(3)]
+    session.start(at=0.0)
+
+    duration = 60.0
+    sim.run(until=duration)
+
+    print(f"Simulated {duration:.0f} s, {sim.events_processed} events")
+    print(f"Final sending rate: {session.sender.current_rate_bps / 1e3:.1f} kbit/s")
+    print(f"Current limiting receiver: {session.sender.clr_id}")
+    print(f"Slowstart ended at t = {session.sender.slowstart_exited_at:.2f} s")
+    print()
+    print(f"{'receiver':>14} {'kbit/s':>9} {'loss rate':>10} {'RTT (ms)':>9}")
+    for receiver in receivers:
+        throughput = monitor.average_throughput(receiver.receiver_id, 20.0, duration)
+        print(
+            f"{receiver.receiver_id:>14} {throughput / 1e3:>9.1f} "
+            f"{receiver.loss_event_rate:>10.4f} {receiver.rtt.rtt * 1e3:>9.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

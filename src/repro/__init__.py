@@ -1,0 +1,45 @@
+"""repro -- a reproduction of TFMCC (Widmer & Handley, SIGCOMM 2001).
+
+The package bundles:
+
+* a packet-level discrete-event network simulator (:mod:`repro.simulator`),
+* a TCP Reno implementation used as the competing baseline (:mod:`repro.tcp`),
+* the unicast TFRC protocol TFMCC extends (:mod:`repro.tfrc`),
+* the TFMCC protocol itself (:mod:`repro.core`) and a high-level session
+  wrapper (:class:`repro.session.TFMCCSession`),
+* analytical models of the feedback mechanism and throughput scaling
+  (:mod:`repro.analysis`),
+* the experiment drivers that regenerate every figure of the paper
+  (:mod:`repro.experiments`).
+"""
+
+from repro.core.config import TFMCCConfig
+from repro.core.feedback import BiasMethod
+from repro.core.receiver import TFMCCReceiver
+from repro.core.sender import TFMCCSender
+from repro.session import TFMCCSession
+from repro.simulator.engine import Simulator
+from repro.simulator.monitor import ThroughputMonitor, fairness_index
+from repro.simulator.multicast import MulticastGroup
+from repro.simulator.topology import LinkSpec, Network
+from repro.tcp.reno import TCPRenoSender
+from repro.tcp.sink import TCPSink
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BiasMethod",
+    "LinkSpec",
+    "MulticastGroup",
+    "Network",
+    "Simulator",
+    "TCPRenoSender",
+    "TCPSink",
+    "TFMCCConfig",
+    "TFMCCReceiver",
+    "TFMCCSender",
+    "TFMCCSession",
+    "ThroughputMonitor",
+    "fairness_index",
+    "__version__",
+]

@@ -1,0 +1,50 @@
+"""Loss events per RTT as a function of the loss event rate (Figure 17).
+
+Appendix A argues that using a too-large initial RTT for loss aggregation is
+safe because the number of loss events per RTT implied by the control
+equation is bounded by roughly 0.13: the curve ``L(p) = p * X(p) * R / s``
+peaks near p = 20-30 % and TFMCC reduces its rate long before loss events
+become frequent enough for aggregation errors to matter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.equations import loss_events_per_rtt
+
+
+def loss_events_per_rtt_curve(
+    loss_rates: Sequence[float] = None,
+) -> List[Tuple[float, float]]:
+    """Evaluate the Figure 17 curve on a log-spaced grid of loss event rates.
+
+    Returns ``[(loss_event_rate, loss_events_per_rtt), ...]``.
+    """
+    if loss_rates is None:
+        loss_rates = _log_grid(1e-4, 1.0, 60)
+    return [(p, loss_events_per_rtt(p)) for p in loss_rates]
+
+
+def peak_loss_events_per_rtt(grid: int = 400) -> Tuple[float, float]:
+    """Locate the maximum of the loss-events-per-RTT curve.
+
+    The paper quotes a maximum of approximately 0.13 loss events per RTT.
+    Returns ``(loss_rate_at_peak, peak_value)``.
+    """
+    rates = _log_grid(1e-4, 1.0, grid)
+    best_p, best_value = 0.0, 0.0
+    for p in rates:
+        value = loss_events_per_rtt(p)
+        if value > best_value:
+            best_p, best_value = p, value
+    return best_p, best_value
+
+
+def _log_grid(low: float, high: float, points: int) -> List[float]:
+    import math
+
+    if low <= 0 or high <= low or points < 2:
+        raise ValueError("invalid grid parameters")
+    step = (math.log(high) - math.log(low)) / (points - 1)
+    return [math.exp(math.log(low) + i * step) for i in range(points)]

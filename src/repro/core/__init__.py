@@ -1,0 +1,45 @@
+"""TFMCC: TCP-Friendly Multicast Congestion Control.
+
+This subpackage implements the paper's primary contribution:
+
+* :mod:`repro.core.equations` -- the TCP throughput models (Padhye and
+  Mathis) and their inverses,
+* :mod:`repro.core.loss_history` -- loss-event detection and the weighted
+  loss-interval history,
+* :mod:`repro.core.rtt` -- scalable round-trip time estimation,
+* :mod:`repro.core.feedback` -- biased exponentially-distributed feedback
+  timers and suppression rules,
+* :mod:`repro.core.sender` / :mod:`repro.core.receiver` -- the TFMCC sender
+  and receiver agents that run on the packet-level simulator.
+"""
+
+from repro.core.config import TFMCCConfig
+from repro.core.equations import (
+    loss_events_per_rtt,
+    mathis_loss_rate,
+    mathis_throughput,
+    padhye_loss_rate,
+    padhye_throughput,
+)
+from repro.core.feedback import BiasMethod, FeedbackTimerPolicy
+from repro.core.loss_history import LossEventDetector, LossIntervalHistory
+from repro.core.receiver import TFMCCReceiver
+from repro.core.rtt import ReceiverRTTEstimator, SenderRTTEstimator
+from repro.core.sender import TFMCCSender
+
+__all__ = [
+    "BiasMethod",
+    "FeedbackTimerPolicy",
+    "LossEventDetector",
+    "LossIntervalHistory",
+    "ReceiverRTTEstimator",
+    "SenderRTTEstimator",
+    "TFMCCConfig",
+    "TFMCCReceiver",
+    "TFMCCSender",
+    "loss_events_per_rtt",
+    "mathis_loss_rate",
+    "mathis_throughput",
+    "padhye_loss_rate",
+    "padhye_throughput",
+]

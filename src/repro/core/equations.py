@@ -1,0 +1,162 @@
+"""TCP throughput models and their inverses.
+
+Two models appear in the paper:
+
+* **Equation (1)** -- the Padhye et al. model of long-term TCP Reno
+  throughput in bytes/second, used as the TFMCC control equation::
+
+      X = s / ( R*sqrt(2*b*p/3) + t_RTO * (3*sqrt(3*b*p/8)) * p * (1 + 32*p^2) )
+
+  with packet size ``s``, round-trip time ``R``, steady-state loss event rate
+  ``p``, number of packets acknowledged per ACK ``b`` and retransmission
+  timeout ``t_RTO`` (approximated as ``4R`` as in TFRC).
+
+* **Equation (4)** -- the simplified Mathis et al. model::
+
+      X = s / (R) * C / sqrt(p),  C = sqrt(3/2)
+
+  whose easy inverse is used to initialise the loss history (Appendix B).
+
+All rates in this module are **bytes per second**; convert to bits per second
+at the call site when comparing with link bandwidths.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+#: Mathis constant sqrt(3/2) for delayed-ACK-free TCP (b = 1).
+MATHIS_C = math.sqrt(3.0 / 2.0)
+
+#: Smallest loss event rate the models are evaluated at.  Below this the
+#: calculated rate is effectively unbounded and callers should treat the flow
+#: as application/slowstart limited instead.
+MIN_LOSS_RATE = 1e-8
+
+#: Largest representable loss event rate.
+MAX_LOSS_RATE = 1.0
+
+
+def _validate(packet_size: float, rtt: float) -> None:
+    if packet_size <= 0:
+        raise ValueError("packet_size must be positive")
+    if rtt <= 0:
+        raise ValueError("rtt must be positive")
+
+
+def padhye_throughput(
+    packet_size: float,
+    rtt: float,
+    loss_rate: float,
+    rto: Optional[float] = None,
+    b: int = 1,
+) -> float:
+    """TCP throughput (bytes/s) from the full Padhye model, Equation (1).
+
+    Parameters
+    ----------
+    packet_size:
+        Segment size ``s`` in bytes.
+    rtt:
+        Round-trip time ``R`` in seconds.
+    loss_rate:
+        Steady-state loss event rate ``p`` in (0, 1].
+    rto:
+        Retransmission timeout ``t_RTO``; defaults to ``4 * rtt`` as in TFRC.
+    b:
+        Packets acknowledged per ACK (1 without delayed ACKs).
+
+    Returns
+    -------
+    float
+        Expected throughput in bytes per second.  For ``loss_rate`` below
+        :data:`MIN_LOSS_RATE` the result is capped at the value for
+        :data:`MIN_LOSS_RATE` to avoid returning infinity.
+    """
+    _validate(packet_size, rtt)
+    p = min(max(loss_rate, MIN_LOSS_RATE), MAX_LOSS_RATE)
+    t_rto = 4.0 * rtt if rto is None else rto
+    term_fast = rtt * math.sqrt(2.0 * b * p / 3.0)
+    term_timeout = t_rto * (3.0 * math.sqrt(3.0 * b * p / 8.0)) * p * (1.0 + 32.0 * p * p)
+    return packet_size / (term_fast + term_timeout)
+
+
+def mathis_throughput(packet_size: float, rtt: float, loss_rate: float) -> float:
+    """TCP throughput (bytes/s) from the simplified Mathis model, Equation (4)."""
+    _validate(packet_size, rtt)
+    p = min(max(loss_rate, MIN_LOSS_RATE), MAX_LOSS_RATE)
+    return packet_size * MATHIS_C / (rtt * math.sqrt(p))
+
+
+def mathis_loss_rate(packet_size: float, rtt: float, throughput: float) -> float:
+    """Invert the Mathis model: loss event rate that yields ``throughput``.
+
+    Used by the loss-history initialisation (Appendix B): the inverse of the
+    simplified equation is closed-form and slightly conservative compared to
+    inverting the full model.
+    """
+    _validate(packet_size, rtt)
+    if throughput <= 0:
+        raise ValueError("throughput must be positive")
+    p = (packet_size * MATHIS_C / (rtt * throughput)) ** 2
+    return min(max(p, MIN_LOSS_RATE), MAX_LOSS_RATE)
+
+
+def padhye_loss_rate(
+    packet_size: float,
+    rtt: float,
+    throughput: float,
+    rto: Optional[float] = None,
+    b: int = 1,
+    tolerance: float = 1e-9,
+) -> float:
+    """Invert the full Padhye model numerically (bisection on ``p``).
+
+    The model is strictly decreasing in ``p`` so bisection converges; the
+    returned loss event rate reproduces ``throughput`` to within ``tolerance``
+    relative error (or hits the [MIN_LOSS_RATE, 1] bounds).
+    """
+    _validate(packet_size, rtt)
+    if throughput <= 0:
+        raise ValueError("throughput must be positive")
+    lo, hi = MIN_LOSS_RATE, MAX_LOSS_RATE
+    if padhye_throughput(packet_size, rtt, lo, rto, b) <= throughput:
+        return lo
+    if padhye_throughput(packet_size, rtt, hi, rto, b) >= throughput:
+        return hi
+    for _ in range(200):
+        mid = math.sqrt(lo * hi)  # geometric bisection: p spans many decades
+        rate = padhye_throughput(packet_size, rtt, mid, rto, b)
+        if abs(rate - throughput) <= tolerance * throughput:
+            return mid
+        if rate > throughput:
+            lo = mid
+        else:
+            hi = mid
+    return math.sqrt(lo * hi)
+
+
+def loss_events_per_rtt(loss_rate: float, rto_rtts: float = 4.0, b: int = 1) -> float:
+    """Expected number of loss events per RTT at loss event rate ``p``.
+
+    This is the curve of Figure 17 (Appendix A): ``L = p * X * R / s`` with
+    ``X`` from Equation (1), which simplifies to a function of ``p`` alone::
+
+        L(p) = p / ( sqrt(2bp/3) + rto_rtts * 3*sqrt(3bp/8) * p * (1 + 32 p^2) )
+
+    The maximum of roughly 0.13 loss events per RTT is the paper's argument
+    for why using a too-large initial RTT for loss aggregation is safe.
+    """
+    if loss_rate <= 0:
+        return 0.0
+    p = min(loss_rate, MAX_LOSS_RATE)
+    denom = math.sqrt(2.0 * b * p / 3.0) + rto_rtts * (
+        3.0 * math.sqrt(3.0 * b * p / 8.0)
+    ) * p * (1.0 + 32.0 * p * p)
+    return p / denom
+
+
+def throughput_in_bps(throughput_bytes_per_s: float) -> float:
+    """Convenience conversion from bytes/s (model output) to bits/s."""
+    return throughput_bytes_per_s * 8.0

@@ -1,0 +1,61 @@
+"""TFMCC packet headers (payloads carried in simulator packets).
+
+Two header types exist:
+
+* :class:`DataHeader` -- carried in every multicast data packet.  Besides the
+  sequence number and send timestamp it carries the sender's current state
+  (rate, feedback round, slowstart flag, CLR id), one RTT-measurement echo
+  (receiver id, echoed feedback timestamp and how long the sender held it)
+  and the suppression echo (the lowest-rate feedback received so far in the
+  current round, which other receivers use to cancel their timers).
+
+* :class:`FeedbackHeader` -- carried in unicast receiver reports.  It holds
+  the receiver's calculated rate, RTT state, receive rate, loss flag and the
+  timestamps needed for both receiver-side and sender-side RTT measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class DataHeader:
+    """Header of a TFMCC multicast data packet."""
+
+    seq: int
+    timestamp: float
+    send_rate: float  # bytes per second
+    round_id: int
+    max_rtt: float
+    is_slowstart: bool
+    clr_id: Optional[str] = None
+    # RTT-measurement echo (Section 2.4.2).
+    echo_receiver_id: Optional[str] = None
+    echo_timestamp: float = 0.0
+    echo_delay: float = 0.0
+    # Suppression echo (Section 2.5.2): lowest-rate feedback of this round.
+    fb_receiver_id: Optional[str] = None
+    fb_rate: Optional[float] = None  # bytes per second
+    fb_round: Optional[int] = None
+    fb_has_loss: bool = False
+
+
+@dataclass
+class FeedbackHeader:
+    """Header of a TFMCC receiver report (unicast to the sender)."""
+
+    receiver_id: str
+    round_id: int
+    timestamp: float  # receiver's clock when the report was sent (to be echoed)
+    calculated_rate: float  # bytes per second (equation-based, or receive rate pre-loss)
+    receive_rate: float  # bytes per second, measured over recent packets
+    have_rtt: bool
+    rtt: float  # the receiver's current RTT estimate (initial value if not measured)
+    loss_event_rate: float
+    has_loss: bool
+    # Echo of the most recent data packet, for sender-side RTT measurement.
+    echo_timestamp: float = 0.0
+    echo_delay: float = 0.0
+    is_leave: bool = False

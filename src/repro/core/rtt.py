@@ -1,0 +1,223 @@
+"""Scalable round-trip time estimation (Section 2.4).
+
+Receivers measure their RTT from feedback echoes: the receiver timestamps its
+feedback, the sender echoes the timestamp (plus the time it held the echo)
+in a later data packet, and the receiver computes::
+
+    rtt_inst = now - echo_timestamp - echo_delay
+
+Before the first measurement, a conservative ``initial_rtt`` (500 ms) is
+used; with synchronised clocks the RTT can instead be initialised from twice
+the one-way delay plus the synchronisation error.
+
+Between real measurements the receiver adjusts its estimate from one-way
+delays (Section 2.4.3): clock skew cancels when adding the stored
+receiver-to-sender delay to a fresh sender-to-receiver delay.
+
+The sender keeps its own per-receiver RTT estimator (Section 2.4.4) used only
+to adjust reports from receivers that do not yet have a valid RTT.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReceiverRTTEstimator:
+    """Receiver-side RTT estimation with EWMA smoothing.
+
+    Parameters
+    ----------
+    initial_rtt:
+        Estimate used before the first real measurement (paper: 500 ms).
+    clr_gain:
+        EWMA gain used while the receiver is the CLR (frequent measurements,
+        paper: 0.05).
+    receiver_gain:
+        EWMA gain for non-CLR receivers (infrequent measurements, paper: 0.5).
+    one_way_gain:
+        EWMA gain for one-way-delay adjustments (every data packet).
+    clock_offset:
+        Receiver clock minus sender clock, in seconds.  Zero in a simulator
+        with one global clock; non-zero values exercise the skew-cancellation
+        property of the one-way-delay adjustment.
+    """
+
+    def __init__(
+        self,
+        initial_rtt: float = 0.5,
+        clr_gain: float = 0.05,
+        receiver_gain: float = 0.5,
+        one_way_gain: float = 0.05,
+        clock_offset: float = 0.0,
+    ):
+        if initial_rtt <= 0:
+            raise ValueError("initial_rtt must be positive")
+        for gain in (clr_gain, receiver_gain, one_way_gain):
+            if not 0.0 < gain <= 1.0:
+                raise ValueError("EWMA gains must be in (0, 1]")
+        self.initial_rtt = initial_rtt
+        self.clr_gain = clr_gain
+        self.receiver_gain = receiver_gain
+        self.one_way_gain = one_way_gain
+        self.clock_offset = clock_offset
+        self._rtt = initial_rtt
+        self._have_measurement = False
+        self.is_clr = False
+        self.measurements = 0
+        # One-way delay state (Section 2.4.3); offsets include clock skew.
+        self._delay_receiver_to_sender: Optional[float] = None
+        self._one_way_adjustment_pending = False
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def rtt(self) -> float:
+        """Current RTT estimate in seconds."""
+        return self._rtt
+
+    @property
+    def has_valid_measurement(self) -> bool:
+        """True once at least one real (echo-based) measurement was made."""
+        return self._have_measurement
+
+    @property
+    def wants_measurement(self) -> bool:
+        """True if the receiver should ask for / prefers a fresh echo.
+
+        This is the case before the first measurement and after a one-way
+        delay adjustment indicated a significant RTT change.
+        """
+        return not self._have_measurement or self._one_way_adjustment_pending
+
+    def local_time(self, sim_time: float) -> float:
+        """The receiver's local clock reading at simulator time ``sim_time``."""
+        return sim_time + self.clock_offset
+
+    # ------------------------------------------------------------ updates
+
+    def initialise_from_one_way_delay(self, one_way_delay: float, sync_error: float = 0.0) -> None:
+        """Initialise the estimate from synchronised clocks (Section 2.4.1).
+
+        ``rtt = 2 * (one_way_delay + sync_error)``; this counts as a usable
+        first estimate but not as a real measurement, so the receiver still
+        requests an echo.
+        """
+        if one_way_delay < 0:
+            raise ValueError("one_way_delay cannot be negative")
+        self._rtt = 2.0 * (one_way_delay + max(0.0, sync_error))
+
+    def update_from_echo(
+        self, now: float, echo_timestamp: float, echo_delay: float
+    ) -> float:
+        """Incorporate a real RTT measurement from an echoed feedback timestamp.
+
+        Parameters
+        ----------
+        now:
+            Current simulation time (the receiver reads its local clock, but
+            since both timestamps are local the offset cancels).
+        echo_timestamp:
+            The receiver's local clock value carried in its feedback packet.
+        echo_delay:
+            Time the sender held the feedback before echoing it.
+
+        Returns
+        -------
+        float
+            The instantaneous RTT sample.
+        """
+        sample = self.local_time(now) - echo_timestamp - echo_delay
+        sample = max(sample, 1e-6)
+        if not self._have_measurement:
+            self._rtt = sample
+            self._have_measurement = True
+        else:
+            gain = self.clr_gain if self.is_clr else self.receiver_gain
+            self._rtt = gain * sample + (1.0 - gain) * self._rtt
+        self.measurements += 1
+        self._one_way_adjustment_pending = False
+        # Refresh the stored receiver->sender one-way delay so that future
+        # one-way adjustments start from this measurement.
+        return sample
+
+    def record_one_way_reference(self, data_send_timestamp: float, now: float) -> None:
+        """Store the reverse one-way delay right after a real RTT measurement.
+
+        ``delay_s->r = local_now - sender_timestamp`` (includes clock skew);
+        ``delay_r->s = rtt - delay_s->r``.
+        """
+        delay_sr = self.local_time(now) - data_send_timestamp
+        self._delay_receiver_to_sender = self._rtt - delay_sr
+
+    def adjust_from_one_way_delay(self, data_send_timestamp: float, now: float) -> Optional[float]:
+        """One-way-delay RTT adjustment on a data packet (Section 2.4.3).
+
+        Returns the adjusted instantaneous RTT, or None if no reference
+        reverse-path delay is available yet.
+        """
+        if self._delay_receiver_to_sender is None or not self._have_measurement:
+            return None
+        delay_sr = self.local_time(now) - data_send_timestamp
+        adjusted = self._delay_receiver_to_sender + delay_sr
+        adjusted = max(adjusted, 1e-6)
+        previous = self._rtt
+        self._rtt = self.one_way_gain * adjusted + (1.0 - self.one_way_gain) * self._rtt
+        # A large apparent change flags that a real measurement is needed.
+        if previous > 0 and abs(adjusted - previous) / previous > 0.25:
+            self._one_way_adjustment_pending = True
+        return adjusted
+
+    def set_is_clr(self, is_clr: bool) -> None:
+        """Tell the estimator whether this receiver currently is the CLR."""
+        self.is_clr = is_clr
+        if is_clr:
+            # Interim one-way adjustments are discarded when selected as CLR;
+            # the next real measurement re-anchors the estimate.
+            self._one_way_adjustment_pending = True
+
+
+class SenderRTTEstimator:
+    """Sender-side per-receiver RTT estimation (Section 2.4.4).
+
+    The sender computes an RTT sample whenever it must react to a report from
+    a receiver without a valid RTT: the report echoes the timestamp of the
+    last data packet received, so ``rtt = now - data_timestamp - hold_time``.
+    Samples are smoothed per receiver with a simple EWMA.
+    """
+
+    def __init__(self, gain: float = 0.5):
+        if not 0.0 < gain <= 1.0:
+            raise ValueError("gain must be in (0, 1]")
+        self.gain = gain
+        self._estimates: dict = {}
+
+    def update(
+        self, receiver_id: str, now: float, data_timestamp: float, hold_time: float = 0.0
+    ) -> float:
+        """Add a sample for ``receiver_id`` and return the smoothed estimate."""
+        sample = max(now - data_timestamp - hold_time, 1e-6)
+        current = self._estimates.get(receiver_id)
+        if current is None:
+            estimate = sample
+        else:
+            estimate = self.gain * sample + (1.0 - self.gain) * current
+        self._estimates[receiver_id] = estimate
+        return estimate
+
+    def get(self, receiver_id: str) -> Optional[float]:
+        """Return the smoothed estimate for a receiver, if any."""
+        return self._estimates.get(receiver_id)
+
+    def adjust_reported_rate(
+        self, reported_rate: float, reported_rtt: float, measured_rtt: float
+    ) -> float:
+        """Rescale a rate calculated with the initial RTT to the measured RTT.
+
+        The control equation is inversely proportional to the RTT, so a rate
+        computed with a too-large initial RTT is scaled up by the ratio of the
+        initial to the measured RTT.
+        """
+        if measured_rtt <= 0 or reported_rtt <= 0:
+            return reported_rate
+        return reported_rate * (reported_rtt / measured_rtt)

@@ -1,0 +1,12 @@
+"""Experiment drivers that regenerate the paper's figures.
+
+Each module exposes functions that build the topology, run the packet-level
+simulation (or the analytic model) and return the series the corresponding
+figure plots.  Benchmarks (`benchmarks/`) call these drivers at ``quick``
+scale; pass ``scale="paper"`` for the original bandwidths, durations and
+receiver counts (slow in pure Python).
+"""
+
+from repro.experiments.common import ExperimentScale, QUICK, PAPER, scaled
+
+__all__ = ["ExperimentScale", "PAPER", "QUICK", "scaled"]

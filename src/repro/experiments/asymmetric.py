@@ -1,0 +1,157 @@
+"""Asymmetric-path experiments (Figures 18 and 19, Appendix D.1).
+
+* Figure 18: four receivers, each with a TCP flow on the forward path;
+  additionally 0, 1, 2 and 4 TCP flows run on the *return* paths from the
+  receivers.  Neither TCP (thanks to cumulative ACKs) nor TFMCC should lose
+  throughput compared to the case without return traffic.
+
+* Figure 19: the return (feedback) paths lose 0 %, 10 %, 20 % and 30 % of
+  packets.  TCP throughput decreases only at very high ACK loss; TFMCC is
+  insensitive to the loss of receiver reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import TFMCCConfig
+from repro.experiments.common import add_tcp_flow, scaled
+from repro.session import TFMCCSession
+from repro.simulator.engine import Simulator
+from repro.simulator.monitor import ThroughputMonitor
+from repro.simulator.topology import Network
+
+
+@dataclass
+class AsymmetricResult:
+    """Per-leaf throughputs for one asymmetric-path experiment."""
+
+    name: str
+    scale: str
+    duration: float
+    tfmcc_bps: float
+    tcp_bps: Dict[str, float]
+    return_flows_bps: Dict[str, float]
+
+
+def _build_leaf_network(
+    sim: Simulator,
+    num_leaves: int,
+    link_bps: float,
+    delay: float,
+    return_loss: Sequence[float],
+) -> Network:
+    net = Network(sim)
+    jitter = 1000.0 * 8.0 / link_bps
+    net.add_duplex_link("source", "hub", link_bps * 4, 0.001, jitter=jitter)
+    for i in range(num_leaves):
+        net.add_duplex_link(
+            "hub",
+            f"leaf{i}",
+            link_bps,
+            delay,
+            loss_rate=0.0,
+            reverse_loss_rate=return_loss[i] if i < len(return_loss) else 0.0,
+            jitter=jitter,
+        )
+    net.build_routes()
+    return net
+
+
+def run_return_path_traffic(
+    scale="quick",
+    link_bps: float = 1e6,
+    delay: float = 0.02,
+    return_flow_counts: Sequence[int] = (0, 1, 2, 4),
+    duration: float = 120.0,
+    seed: int = 18,
+    config: Optional[TFMCCConfig] = None,
+) -> AsymmetricResult:
+    """Figure 18: competing TCP traffic on the receivers' return paths.
+
+    Leaf ``i`` carries ``return_flow_counts[i]`` TCP flows in the receiver-to-
+    source direction in addition to the forward TCP flow and the TFMCC
+    receiver.
+    """
+    s = scaled(scale)
+    link = s.bandwidth(link_bps)
+    run_time = s.duration(duration)
+    num_leaves = len(return_flow_counts)
+    sim = Simulator(seed=seed)
+    net = _build_leaf_network(sim, num_leaves, link, delay, [0.0] * num_leaves)
+    monitor = ThroughputMonitor(sim, interval=1.0)
+    session = TFMCCSession(sim, net, sender_node="source", config=config, monitor=monitor)
+    receivers = [session.add_receiver(f"leaf{i}") for i in range(num_leaves)]
+    session.start(0.0)
+    tcp_ids = []
+    for i in range(num_leaves):
+        fid = f"tcp_fwd{i}"
+        add_tcp_flow(sim, net, fid, "source", f"leaf{i}", monitor)
+        tcp_ids.append(fid)
+    return_ids = []
+    for i, count in enumerate(return_flow_counts):
+        for j in range(count):
+            fid = f"tcp_ret{i}_{j}"
+            add_tcp_flow(sim, net, fid, f"leaf{i}", "source", monitor)
+            return_ids.append(fid)
+    sim.run(until=run_time)
+    t_start = run_time * s.warmup_fraction
+    tfmcc = min(
+        monitor.average_throughput(r.receiver_id, t_start, run_time) for r in receivers
+    )
+    return AsymmetricResult(
+        name="fig18_return_path_traffic",
+        scale=s.name,
+        duration=run_time,
+        tfmcc_bps=tfmcc,
+        tcp_bps={fid: monitor.average_throughput(fid, t_start, run_time) for fid in tcp_ids},
+        return_flows_bps={
+            fid: monitor.average_throughput(fid, t_start, run_time) for fid in return_ids
+        },
+    )
+
+
+def run_lossy_return_paths(
+    scale="quick",
+    link_bps: float = 4e6,
+    delay: float = 0.02,
+    return_loss_rates: Sequence[float] = (0.0, 0.1, 0.2, 0.3),
+    duration: float = 120.0,
+    seed: int = 19,
+    config: Optional[TFMCCConfig] = None,
+) -> AsymmetricResult:
+    """Figure 19: lossy feedback paths.
+
+    Leaf ``i``'s reverse direction drops ``return_loss_rates[i]`` of all
+    packets (receiver reports for TFMCC, ACKs for TCP).  TFMCC throughput
+    should be unaffected; TCP only degrades at very high ACK loss.
+    """
+    s = scaled(scale)
+    link = s.bandwidth(link_bps)
+    run_time = s.duration(duration)
+    num_leaves = len(return_loss_rates)
+    sim = Simulator(seed=seed)
+    net = _build_leaf_network(sim, num_leaves, link, delay, list(return_loss_rates))
+    monitor = ThroughputMonitor(sim, interval=1.0)
+    session = TFMCCSession(sim, net, sender_node="source", config=config, monitor=monitor)
+    receivers = [session.add_receiver(f"leaf{i}") for i in range(num_leaves)]
+    session.start(0.0)
+    tcp_ids = []
+    for i in range(num_leaves):
+        fid = f"tcp{int(return_loss_rates[i] * 100)}"
+        add_tcp_flow(sim, net, fid, "source", f"leaf{i}", monitor)
+        tcp_ids.append(fid)
+    sim.run(until=run_time)
+    t_start = run_time * s.warmup_fraction
+    tfmcc = sum(
+        monitor.average_throughput(r.receiver_id, t_start, run_time) for r in receivers
+    ) / len(receivers)
+    return AsymmetricResult(
+        name="fig19_lossy_return_paths",
+        scale=s.name,
+        duration=run_time,
+        tfmcc_bps=tfmcc,
+        tcp_bps={fid: monitor.average_throughput(fid, t_start, run_time) for fid in tcp_ids},
+        return_flows_bps={},
+    )

@@ -1,0 +1,160 @@
+"""Shared infrastructure for the experiment drivers.
+
+The paper's simulations run for hundreds of seconds at megabit rates with up
+to thousands of receivers; pure-Python packet simulation is roughly three
+orders of magnitude slower than ns-2, so every driver accepts an
+:class:`ExperimentScale` that scales bandwidths, durations and receiver
+counts down while preserving the *shape* of the result (who wins, by what
+factor, where crossovers fall).  ``PAPER`` reproduces the original
+parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.simulator.engine import Simulator
+from repro.simulator.monitor import ThroughputMonitor
+from repro.simulator.topology import Network
+from repro.tcp.reno import TCPRenoSender
+from repro.tcp.sink import TCPSink
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scale factors applied to the paper's experiment parameters.
+
+    Attributes
+    ----------
+    name:
+        Human-readable scale name.
+    bandwidth_factor:
+        Multiplier on all link bandwidths (1.0 = paper values).
+    time_factor:
+        Multiplier on simulation durations.
+    receiver_factor:
+        Multiplier on receiver counts in many-receiver experiments.
+    warmup_fraction:
+        Fraction of the run discarded before computing averages.
+    """
+
+    name: str
+    bandwidth_factor: float = 1.0
+    time_factor: float = 1.0
+    receiver_factor: float = 1.0
+    warmup_fraction: float = 0.25
+
+    def bandwidth(self, bits_per_second: float) -> float:
+        """Scale a bandwidth given in the paper."""
+        return bits_per_second * self.bandwidth_factor
+
+    def duration(self, seconds: float) -> float:
+        """Scale a simulation duration given in the paper."""
+        return max(seconds * self.time_factor, 10.0)
+
+    def receivers(self, count: int) -> int:
+        """Scale a receiver count given in the paper."""
+        return max(1, int(round(count * self.receiver_factor)))
+
+
+#: Paper-scale parameters (slow: hours of CPU for the larger figures).
+PAPER = ExperimentScale(name="paper")
+
+#: Quick-scale parameters used by the benchmark harness.  Bandwidths are kept
+#: at paper values (reducing them slows protocol convergence in wall-clock
+#: terms without saving events); durations and receiver counts are reduced.
+QUICK = ExperimentScale(
+    name="quick",
+    bandwidth_factor=1.0,
+    time_factor=0.4,
+    receiver_factor=0.25,
+    warmup_fraction=0.4,
+)
+
+
+def scaled(scale) -> ExperimentScale:
+    """Normalise a scale argument: accepts 'quick', 'paper' or a scale object."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    if scale in (None, "quick"):
+        return QUICK
+    if scale == "paper":
+        return PAPER
+    raise ValueError(f"unknown scale {scale!r}")
+
+
+@dataclass
+class FlowResult:
+    """Average throughput of one flow over the measurement window."""
+
+    flow_id: str
+    kind: str  # "tfmcc" or "tcp"
+    average_bps: float
+    series: List[Tuple[float, float]] = field(default_factory=list)
+
+
+@dataclass
+class ExperimentResult:
+    """Generic result of a throughput experiment."""
+
+    name: str
+    scale: str
+    duration: float
+    flows: List[FlowResult] = field(default_factory=list)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def flows_of_kind(self, kind: str) -> List[FlowResult]:
+        return [f for f in self.flows if f.kind == kind]
+
+    def mean_bps(self, kind: str) -> float:
+        """Mean of the average throughputs of all flows of ``kind``."""
+        flows = self.flows_of_kind(kind)
+        if not flows:
+            return 0.0
+        return sum(f.average_bps for f in flows) / len(flows)
+
+    def tfmcc_to_tcp_ratio(self) -> float:
+        """Ratio of mean TFMCC throughput to mean TCP throughput."""
+        tcp = self.mean_bps("tcp")
+        if tcp <= 0:
+            return float("inf")
+        return self.mean_bps("tfmcc") / tcp
+
+
+def add_tcp_flow(
+    sim: Simulator,
+    network: Network,
+    flow_id: str,
+    src: str,
+    dst: str,
+    monitor: ThroughputMonitor,
+    start: float = 0.0,
+    stop: Optional[float] = None,
+) -> Tuple[TCPRenoSender, TCPSink]:
+    """Create and start a greedy TCP flow from ``src`` to ``dst``."""
+    sender = TCPRenoSender(sim, flow_id, dst, monitor=monitor)
+    sink = TCPSink(sim, flow_id, src, monitor=monitor)
+    network.attach(src, sender)
+    network.attach(dst, sink)
+    sender.start(start)
+    if stop is not None:
+        sender.stop(stop)
+    return sender, sink
+
+
+def collect_flow(
+    monitor: ThroughputMonitor,
+    flow_id: str,
+    kind: str,
+    t_start: float,
+    t_end: float,
+    with_series: bool = True,
+) -> FlowResult:
+    """Build a :class:`FlowResult` for one flow from the monitor."""
+    return FlowResult(
+        flow_id=flow_id,
+        kind=kind,
+        average_bps=monitor.average_throughput(flow_id, t_start, t_end),
+        series=monitor.series(flow_id, 0.0, t_end) if with_series else [],
+    )

@@ -1,0 +1,140 @@
+"""Fairness experiments (Figures 9 and 10).
+
+* Figure 9: one TFMCC flow and 15 TCP flows share a single 8 Mbit/s
+  bottleneck (dumbbell topology).  The paper's result: TFMCC's average
+  throughput closely matches the average TCP throughput, with a visibly
+  smoother rate.
+
+* Figure 10: one TFMCC flow with 16 receivers, each behind its own 1 Mbit/s
+  tail circuit shared with one TCP flow.  Because TFMCC tracks the most
+  constrained receiver and the per-receiver loss processes are only loosely
+  correlated, TFMCC achieves only about 70 % of TCP's throughput -- the
+  throughput-degradation effect of Section 3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import TFMCCConfig
+from repro.experiments.common import (
+    ExperimentResult,
+    add_tcp_flow,
+    collect_flow,
+    scaled,
+)
+from repro.session import TFMCCSession
+from repro.simulator.engine import Simulator
+from repro.simulator.monitor import ThroughputMonitor
+from repro.simulator.topology import Network
+
+
+def run_shared_bottleneck(
+    scale="quick",
+    num_tcp: int = 15,
+    bottleneck_bps: float = 8e6,
+    bottleneck_delay: float = 0.02,
+    duration: float = 200.0,
+    seed: int = 1,
+    config: Optional[TFMCCConfig] = None,
+) -> ExperimentResult:
+    """Figure 9: one TFMCC flow and ``num_tcp`` TCP flows over one bottleneck.
+
+    Returns per-flow average throughputs measured after the warm-up period.
+    At quick scale the flow count, bandwidth and duration are reduced but the
+    TFMCC:TCP throughput ratio should remain close to one.
+    """
+    s = scaled(scale)
+    num_tcp = max(2, s.receivers(num_tcp)) if s.receiver_factor != 1.0 else num_tcp
+    bottleneck = s.bandwidth(bottleneck_bps)
+    run_time = s.duration(duration)
+    sim = Simulator(seed=seed)
+    net = Network.dumbbell(
+        sim,
+        num_left=num_tcp + 1,
+        num_right=num_tcp + 1,
+        bottleneck_bandwidth=bottleneck,
+        bottleneck_delay=bottleneck_delay,
+        access_bandwidth=bottleneck * 12.5,
+        access_delay=0.001,
+    )
+    monitor = ThroughputMonitor(sim, interval=1.0)
+    session = TFMCCSession(sim, net, sender_node="src0", config=config, monitor=monitor)
+    receiver = session.add_receiver("dst0")
+    session.start(0.0)
+    for i in range(1, num_tcp + 1):
+        add_tcp_flow(sim, net, f"tcp{i}", f"src{i}", f"dst{i}", monitor)
+    sim.run(until=run_time)
+
+    t_start = run_time * s.warmup_fraction
+    result = ExperimentResult(name="fig09_shared_bottleneck", scale=s.name, duration=run_time)
+    result.flows.append(collect_flow(monitor, receiver.receiver_id, "tfmcc", t_start, run_time))
+    for i in range(1, num_tcp + 1):
+        result.flows.append(collect_flow(monitor, f"tcp{i}", "tcp", t_start, run_time))
+    result.extra["fair_share_bps"] = bottleneck / (num_tcp + 1)
+    result.extra["tfmcc_smoothness_cov"] = monitor.stats(
+        receiver.receiver_id, t_start, run_time
+    ).coefficient_of_variation
+    tcp_cov = [
+        monitor.stats(f"tcp{i}", t_start, run_time).coefficient_of_variation
+        for i in range(1, num_tcp + 1)
+    ]
+    result.extra["tcp_smoothness_cov"] = sum(tcp_cov) / len(tcp_cov)
+    return result
+
+
+def run_individual_bottlenecks(
+    scale="quick",
+    num_receivers: int = 16,
+    tail_bps: float = 1e6,
+    tail_delay: float = 0.02,
+    duration: float = 200.0,
+    seed: int = 2,
+    config: Optional[TFMCCConfig] = None,
+) -> ExperimentResult:
+    """Figure 10: TFMCC vs one TCP flow on each of ``num_receivers`` tails.
+
+    Every receiver sits behind its own identical tail circuit also used by a
+    dedicated TCP flow.  The paper reports TFMCC achieving roughly 70 % of
+    TCP's throughput because it tracks the receiver whose loss estimate is
+    momentarily worst.
+    """
+    s = scaled(scale)
+    count = max(4, s.receivers(num_receivers)) if s.receiver_factor != 1.0 else num_receivers
+    tail = s.bandwidth(tail_bps)
+    run_time = s.duration(duration)
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    core_bw = tail * count * 4
+    jitter = 1000.0 * 8.0 / tail
+    # Sender side: source -> core router.
+    net.add_duplex_link("sender", "core", core_bw, 0.001, jitter=jitter)
+    # One tail circuit per receiver, shared by the TFMCC receiver and a TCP sink.
+    for i in range(count):
+        net.add_duplex_link("core", f"tail{i}", tail, tail_delay, jitter=jitter)
+        net.add_duplex_link(f"tail{i}", f"rcv{i}", core_bw, 0.001, jitter=jitter)
+        net.add_duplex_link(f"tcp_src{i}", "core", core_bw, 0.001, jitter=jitter)
+    net.build_routes()
+
+    monitor = ThroughputMonitor(sim, interval=1.0)
+    session = TFMCCSession(sim, net, sender_node="sender", config=config, monitor=monitor)
+    receivers = [session.add_receiver(f"rcv{i}") for i in range(count)]
+    session.start(0.0)
+    for i in range(count):
+        add_tcp_flow(sim, net, f"tcp{i}", f"tcp_src{i}", f"rcv{i}", monitor)
+    sim.run(until=run_time)
+
+    t_start = run_time * s.warmup_fraction
+    result = ExperimentResult(
+        name="fig10_individual_bottlenecks", scale=s.name, duration=run_time
+    )
+    # TFMCC throughput is measured at the receivers (they all see the same
+    # sender rate minus their own tail losses); report the mean.
+    for receiver in receivers:
+        result.flows.append(
+            collect_flow(monitor, receiver.receiver_id, "tfmcc", t_start, run_time, False)
+        )
+    for i in range(count):
+        result.flows.append(collect_flow(monitor, f"tcp{i}", "tcp", t_start, run_time, False))
+    result.extra["fair_share_bps"] = tail / 2.0
+    return result

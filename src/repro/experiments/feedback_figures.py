@@ -1,0 +1,130 @@
+"""Feedback-mechanism figures (Figures 1-6).
+
+These figures characterise the biased exponential feedback timers in
+isolation; following the paper's own methodology they are generated from the
+one-round model (:mod:`repro.analysis.feedback_rounds`) and the closed-form
+expectation (:mod:`repro.analysis.feedback_model`) rather than from the
+packet-level simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.feedback_model import expected_feedback_messages
+from repro.analysis.feedback_rounds import FeedbackRoundSimulator, timer_cdf_points
+from repro.core.feedback import BiasMethod
+
+
+@dataclass
+class BiasCurves:
+    """A family of curves indexed by bias method (Figures 1, 5 and 6)."""
+
+    x_values: List[float]
+    curves: Dict[str, List[float]] = field(default_factory=dict)
+
+
+def figure1_bias_cdfs(
+    receiver_estimate: int = 10000,
+    max_delay_rtts: float = 4.0,
+    rate_ratio: float = 0.5,
+    samples: int = 20000,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Figure 1: CDF of the feedback time for the three biasing methods."""
+    out = {}
+    for method, label in (
+        (BiasMethod.NONE, "exponential"),
+        (BiasMethod.OFFSET, "offset"),
+        (BiasMethod.MODIFIED_N, "modified_n"),
+    ):
+        out[label] = timer_cdf_points(
+            method,
+            receiver_estimate=receiver_estimate,
+            max_delay_rtts=max_delay_rtts,
+            rate_ratio=rate_ratio,
+            samples=samples,
+        )
+    return out
+
+
+def figure2_time_value_distribution(
+    num_receivers: int = 100, seed: int = 2
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Figure 2: time-value scatter of sent feedback, offset vs unbiased."""
+    out = {}
+    for method, label in ((BiasMethod.NONE, "normal"), (BiasMethod.OFFSET, "offset")):
+        sim = FeedbackRoundSimulator(seed=seed, bias_method=method, cancellation_delta=1.0)
+        result = sim.time_value_scatter(num_receivers)
+        out[label] = list(zip(result.response_times, result.response_values))
+    return out
+
+
+def figure3_cancellation_methods(
+    receiver_counts: Sequence[int] = (1, 10, 100, 1000, 10000),
+    deltas: Sequence[float] = (1.0, 0.1, 0.0),
+    rounds: int = 10,
+    seed: int = 3,
+) -> BiasCurves:
+    """Figure 3: responses per worst-case round for different delta values."""
+    curves = BiasCurves(x_values=list(receiver_counts))
+    labels = {1.0: "all_suppressed", 0.1: "ten_percent_lower_suppressed", 0.0: "higher_suppressed"}
+    for delta in deltas:
+        sim = FeedbackRoundSimulator(seed=seed, cancellation_delta=delta)
+        curves.curves[labels.get(delta, f"delta_{delta}")] = [
+            sim.average_responses(n, rounds=rounds) for n in receiver_counts
+        ]
+    return curves
+
+
+def figure4_expected_messages(
+    receiver_counts: Sequence[int] = (1, 10, 100, 1000, 10000, 100000),
+    max_delays_rtts: Sequence[float] = (2.0, 3.0, 4.0, 5.0, 6.0),
+    receiver_estimate: int = 10000,
+) -> Dict[float, List[Tuple[int, float]]]:
+    """Figure 4: expected number of feedback messages over (T', n)."""
+    surface = {}
+    for t_prime in max_delays_rtts:
+        surface[t_prime] = [
+            (n, expected_feedback_messages(n, t_prime, receiver_estimate=receiver_estimate))
+            for n in receiver_counts
+        ]
+    return surface
+
+
+def figure5_response_times(
+    receiver_counts: Sequence[int] = (1, 10, 100, 1000, 10000),
+    rounds: int = 10,
+    seed: int = 5,
+) -> BiasCurves:
+    """Figure 5: average response delay for the three bias variants."""
+    curves = BiasCurves(x_values=list(receiver_counts))
+    for method, label in (
+        (BiasMethod.NONE, "unbiased_exponential"),
+        (BiasMethod.OFFSET, "basic_offset"),
+        (BiasMethod.MODIFIED_OFFSET, "modified_offset"),
+    ):
+        sim = FeedbackRoundSimulator(seed=seed, bias_method=method, cancellation_delta=1.0)
+        curves.curves[label] = [
+            sim.average_response_time(n, rounds=rounds) for n in receiver_counts
+        ]
+    return curves
+
+
+def figure6_report_quality(
+    receiver_counts: Sequence[int] = (1, 10, 100, 1000, 10000),
+    rounds: int = 10,
+    seed: int = 6,
+) -> BiasCurves:
+    """Figure 6: deviation of the best reported rate from the true minimum."""
+    curves = BiasCurves(x_values=list(receiver_counts))
+    for method, label in (
+        (BiasMethod.NONE, "unbiased_exponential"),
+        (BiasMethod.OFFSET, "basic_offset"),
+        (BiasMethod.MODIFIED_OFFSET, "modified_offset"),
+    ):
+        sim = FeedbackRoundSimulator(seed=seed, bias_method=method, cancellation_delta=1.0)
+        curves.curves[label] = [
+            sim.average_report_quality(n, rounds=rounds) for n in receiver_counts
+        ]
+    return curves

@@ -1,0 +1,137 @@
+"""Late join of a low-rate receiver (Figures 15 and 16).
+
+A TFMCC session with eight receivers competes with seven TCP flows on an
+8 Mbit/s link (fair rate 1 Mbit/s).  Between t = 50 s and t = 100 s an
+additional receiver behind a separate 200 kbit/s bottleneck joins the group.
+TFMCC must select the new receiver as CLR within a few seconds and adapt to
+the 200 kbit/s tail without collapsing to zero; when the receiver leaves the
+rate recovers towards the original fair share.
+
+Figure 16 repeats the experiment with a TCP flow sharing the 200 kbit/s tail
+for the whole run: that flow inevitably suffers while the tail is flooded at
+join time, but recovers once TFMCC adapts, and the tail bandwidth ends up
+shared between TFMCC and TCP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import TFMCCConfig
+from repro.experiments.common import add_tcp_flow, scaled
+from repro.session import TFMCCSession
+from repro.simulator.engine import Simulator
+from repro.simulator.monitor import ThroughputMonitor
+from repro.simulator.topology import Network
+
+
+@dataclass
+class LateJoinResult:
+    """Phase-by-phase throughput of the late-join experiment."""
+
+    scale: str
+    join_time: float
+    leave_time: float
+    duration: float
+    before_join_bps: float
+    during_join_bps: float
+    after_leave_bps: float
+    tail_bps: float
+    clr_switch_delay: Optional[float]
+    tcp_on_tail_during_bps: float = 0.0
+    tcp_on_tail_after_bps: float = 0.0
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+
+def run_late_join(
+    scale="quick",
+    with_tcp_on_tail: bool = False,
+    shared_bps: float = 8e6,
+    tail_bps: float = 200e3,
+    num_main_receivers: int = 8,
+    num_tcp: int = 7,
+    join_time: float = 50.0,
+    leave_time: float = 100.0,
+    duration: float = 140.0,
+    seed: int = 15,
+    config: Optional[TFMCCConfig] = None,
+) -> LateJoinResult:
+    """Figures 15/16: a receiver behind a 200 kbit/s tail joins mid-session.
+
+    ``with_tcp_on_tail`` enables the additional TCP flow of Figure 16.
+    """
+    s = scaled(scale)
+    shared = s.bandwidth(shared_bps)
+    tail = s.bandwidth(tail_bps)
+    run_time = s.duration(duration)
+    tf = run_time / duration
+    join_at, leave_at = join_time * tf, leave_time * tf
+    num_tcp_scaled = max(2, s.receivers(num_tcp)) if s.receiver_factor != 1.0 else num_tcp
+    num_rcv = max(2, s.receivers(num_main_receivers)) if s.receiver_factor != 1.0 else num_main_receivers
+    shared = s.bandwidth(shared_bps) * (num_tcp_scaled + 1) / (num_tcp + 1)
+
+    sim = Simulator(seed=seed)
+    net = Network.dumbbell(
+        sim,
+        num_left=num_tcp_scaled + 1,
+        num_right=max(num_rcv, num_tcp_scaled + 1),
+        bottleneck_bandwidth=shared,
+        bottleneck_delay=0.02,
+        access_bandwidth=shared * 12.5,
+        access_delay=0.001,
+    )
+    # Add the slow tail behind the right-hand router.
+    jitter = 1000.0 * 8.0 / shared
+    net.add_duplex_link("router_right", "slow_tail", tail, 0.02, queue_limit=20, jitter=jitter)
+    net.add_duplex_link("slow_tail", "slow_rcv", shared, 0.001, jitter=jitter)
+    net.add_duplex_link("tcp_slow_src", "router_left", shared * 12.5, 0.001, jitter=jitter)
+    net.build_routes()
+
+    monitor = ThroughputMonitor(sim, interval=1.0)
+    session = TFMCCSession(sim, net, sender_node="src0", config=config, monitor=monitor)
+    main_receivers = [session.add_receiver(f"dst{i}") for i in range(num_rcv)]
+    session.start(0.0)
+    for i in range(1, num_tcp_scaled + 1):
+        add_tcp_flow(sim, net, f"tcp{i}", f"src{i}", f"dst{i}", monitor)
+    if with_tcp_on_tail:
+        add_tcp_flow(sim, net, "tcp_slow", "tcp_slow_src", "slow_rcv", monitor)
+
+    session.add_receiver_at(join_at, "slow_rcv", receiver_id="late-rcv")
+    session.remove_receiver_at(leave_at, "late-rcv")
+
+    # Track when the late receiver becomes CLR.
+    switch = {"at": None}
+
+    def check_clr() -> None:
+        if switch["at"] is None:
+            if session.sender.clr_id == "late-rcv":
+                switch["at"] = sim.now
+            elif sim.now < leave_at:
+                sim.schedule(0.25, check_clr)
+
+    sim.schedule_at(join_at, check_clr)
+    sim.run(until=run_time)
+
+    main_id = main_receivers[0].receiver_id
+    result = LateJoinResult(
+        scale=s.name,
+        join_time=join_at,
+        leave_time=leave_at,
+        duration=run_time,
+        before_join_bps=monitor.average_throughput(main_id, run_time * 0.15, join_at),
+        during_join_bps=monitor.average_throughput(main_id, join_at + 5.0, leave_at),
+        after_leave_bps=monitor.average_throughput(main_id, leave_at + 10.0, run_time),
+        tail_bps=tail,
+        clr_switch_delay=(switch["at"] - join_at) if switch["at"] is not None else None,
+        series={"tfmcc": monitor.series(main_id, 0.0, run_time)},
+    )
+    if with_tcp_on_tail:
+        result.tcp_on_tail_during_bps = monitor.average_throughput(
+            "tcp_slow", join_at + 5.0, leave_at
+        )
+        result.tcp_on_tail_after_bps = monitor.average_throughput(
+            "tcp_slow", leave_at + 5.0, run_time
+        )
+        result.series["tcp_slow"] = monitor.series("tcp_slow", 0.0, run_time)
+    return result

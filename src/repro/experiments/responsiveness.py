@@ -1,0 +1,249 @@
+"""Responsiveness experiments (Figures 11, 20 and 21).
+
+* Figure 11: star topology with four links whose loss rates are 0.1 %,
+  0.5 %, 2.5 % and 12.5 %.  Receivers join in order of increasing loss rate
+  at fixed intervals and later leave in reverse order; a TCP flow to each
+  receiver runs throughout.  TFMCC should track the TCP throughput at each
+  loss level and adapt within a few seconds of each membership change.
+
+* Figure 20: same experiment with link *delays* of 30/60/120/240 ms instead
+  of loss rates.
+
+* Figure 21: a TFMCC flow on a 16 Mbit/s link; 1, 2, 4 and 8 additional TCP
+  flows start at 50 s intervals so the flow count doubles every 50 s.  Both
+  TFMCC and TCP should settle at roughly half the bandwidth of the previous
+  interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import TFMCCConfig
+from repro.experiments.common import ExperimentResult, add_tcp_flow, collect_flow, scaled
+from repro.session import TFMCCSession
+from repro.simulator.engine import Simulator
+from repro.simulator.monitor import ThroughputMonitor
+from repro.simulator.topology import LinkSpec, Network
+
+
+@dataclass
+class PhaseResult:
+    """Average throughputs during one phase of a staged experiment."""
+
+    label: str
+    t_start: float
+    t_end: float
+    tfmcc_bps: float
+    tcp_bps: Dict[str, float] = field(default_factory=dict)
+
+
+def _build_star(
+    sim: Simulator,
+    specs: Sequence[LinkSpec],
+    hub_bandwidth: float,
+) -> Network:
+    jitter = 1000.0 * 8.0 / min(spec.bandwidth for spec in specs)
+    net = Network(sim)
+    net.add_duplex_link("source", "hub", hub_bandwidth, 0.001, jitter=jitter)
+    for i, spec in enumerate(specs):
+        net.add_duplex_link(
+            f"leaf{i}",
+            "hub",
+            spec.bandwidth,
+            spec.delay,
+            spec.queue_limit,
+            spec.loss_rate,
+            jitter=jitter,
+        )
+    net.build_routes()
+    return net
+
+
+def run_staggered_join_leave(
+    scale="quick",
+    loss_rates: Sequence[float] = (0.001, 0.005, 0.025, 0.125),
+    link_delays: Optional[Sequence[float]] = None,
+    link_bps: float = 10e6,
+    join_interval: float = 50.0,
+    first_join: float = 100.0,
+    duration: float = 400.0,
+    seed: int = 11,
+    config: Optional[TFMCCConfig] = None,
+) -> Tuple[ExperimentResult, List[PhaseResult]]:
+    """Figures 11 and 20: staggered joins/leaves on a star topology.
+
+    Receiver ``i`` (ordered by loss rate, or by delay when ``link_delays`` is
+    given) joins at ``first_join + i * join_interval`` (receiver 0 is present
+    from the start) and leaves in reverse order after the join phase.  A TCP
+    flow to every leaf runs for the whole experiment.
+
+    Returns the overall experiment result plus per-phase averages, which is
+    what Figure 11/20 effectively show.
+    """
+    s = scaled(scale)
+    run_time = s.duration(duration)
+    time_scale = run_time / duration
+    join_interval_s = join_interval * time_scale
+    first_join_s = first_join * time_scale
+    link = s.bandwidth(link_bps)
+
+    if link_delays is None:
+        delays = [0.03] * len(loss_rates)
+        losses = list(loss_rates)
+        name = "fig11_loss_responsiveness"
+    else:
+        delays = [d / 2.0 for d in link_delays]  # one-way delay = RTT/2
+        losses = [0.0] * len(link_delays)
+        name = "fig20_delay_responsiveness"
+
+    specs = [
+        LinkSpec(bandwidth=link, delay=delays[i], loss_rate=losses[i])
+        for i in range(len(delays))
+    ]
+    sim = Simulator(seed=seed)
+    net = _build_star(sim, specs, hub_bandwidth=link * 8)
+    monitor = ThroughputMonitor(sim, interval=1.0)
+    session = TFMCCSession(sim, net, sender_node="source", config=config, monitor=monitor)
+    session.start(0.0)
+
+    # Receiver 0 is a member from the start; others join/leave on schedule.
+    receiver_ids: List[str] = []
+    first = session.add_receiver("leaf0", receiver_id="rcv0")
+    receiver_ids.append(first.receiver_id)
+    join_times = {0: 0.0}
+    leave_times: Dict[int, float] = {}
+    for i in range(1, len(specs)):
+        join_at = first_join_s + (i - 1) * join_interval_s
+        join_times[i] = join_at
+        rid = session.add_receiver_at(join_at, f"leaf{i}", receiver_id=f"rcv{i}")
+        receiver_ids.append(rid)
+    leave_start = first_join_s + (len(specs) - 1) * join_interval_s
+    for idx, i in enumerate(reversed(range(1, len(specs)))):
+        leave_at = leave_start + idx * join_interval_s
+        leave_times[i] = leave_at
+        session.remove_receiver_at(leave_at, f"rcv{i}")
+
+    for i in range(len(specs)):
+        add_tcp_flow(sim, net, f"tcp{i}", "source", f"leaf{i}", monitor)
+
+    sim.run(until=run_time)
+
+    t_start = run_time * 0.1
+    result = ExperimentResult(name=name, scale=s.name, duration=run_time)
+    for rid in receiver_ids:
+        if rid in session.receivers:
+            result.flows.append(collect_flow(monitor, rid, "tfmcc", t_start, run_time))
+    for i in range(len(specs)):
+        result.flows.append(collect_flow(monitor, f"tcp{i}", "tcp", t_start, run_time))
+
+    # Phase-by-phase averages: while receiver i is the worst member, TFMCC
+    # should track the TCP flow on link i.
+    phases: List[PhaseResult] = []
+    boundaries = sorted(set(list(join_times.values()) + list(leave_times.values()) + [run_time]))
+    aggregate = _aggregate_tfmcc_series(monitor, receiver_ids)
+    for start, end in zip(boundaries, boundaries[1:]):
+        if end - start < 2.0:
+            continue
+        members = [
+            i
+            for i in range(len(specs))
+            if join_times.get(i, float("inf")) <= start
+            and leave_times.get(i, float("inf")) >= end
+        ]
+        worst = max(members) if members else 0
+        label = f"worst=link{worst}"
+        window = [v for t, v in aggregate if start + 1.0 <= t < end]
+        tfmcc_avg = sum(window) / len(window) if window else 0.0
+        tcp_avgs = {
+            f"tcp{i}": monitor.average_throughput(f"tcp{i}", start + 1.0, end) for i in members
+        }
+        phases.append(PhaseResult(label, start, end, tfmcc_avg, tcp_avgs))
+    result.extra["num_phases"] = len(phases)
+    return result, phases
+
+
+def _aggregate_tfmcc_series(
+    monitor: ThroughputMonitor, receiver_ids: Sequence[str]
+) -> List[Tuple[float, float]]:
+    """Maximum receiver throughput per interval.
+
+    While a receiver is a member it receives the multicast stream; taking the
+    per-interval maximum over receivers gives the sending rate actually
+    delivered regardless of which receivers are members at the time.
+    """
+    series: Dict[float, float] = {}
+    for rid in receiver_ids:
+        for t, v in monitor.series(rid):
+            series[t] = max(series.get(t, 0.0), v)
+    return sorted(series.items())
+
+
+def run_increasing_congestion(
+    scale="quick",
+    link_bps: float = 16e6,
+    rtt: float = 0.06,
+    phase_length: float = 50.0,
+    flow_counts: Sequence[int] = (1, 2, 4, 8),
+    seed: int = 21,
+    config: Optional[TFMCCConfig] = None,
+) -> Tuple[ExperimentResult, List[PhaseResult]]:
+    """Figure 21: TCP flow count doubles every ``phase_length`` seconds.
+
+    A single TFMCC flow (one receiver) shares a ``link_bps`` bottleneck with
+    an increasing number of TCP flows: ``flow_counts[i]`` new flows start at
+    the beginning of phase ``i + 1``.  Both TFMCC and TCP should roughly
+    halve their throughput from one phase to the next.
+    """
+    s = scaled(scale)
+    link = s.bandwidth(link_bps)
+    phase = max(phase_length * s.time_factor, 15.0)
+    total_phases = len(flow_counts) + 1
+    run_time = phase * total_phases
+    sim = Simulator(seed=seed)
+    total_tcp = sum(flow_counts)
+    net = Network.dumbbell(
+        sim,
+        num_left=total_tcp + 1,
+        num_right=total_tcp + 1,
+        bottleneck_bandwidth=link,
+        bottleneck_delay=rtt / 2.0 - 0.002,
+        access_bandwidth=link * 12.5,
+        access_delay=0.001,
+    )
+    monitor = ThroughputMonitor(sim, interval=1.0)
+    session = TFMCCSession(sim, net, sender_node="src0", config=config, monitor=monitor)
+    receiver = session.add_receiver("dst0")
+    session.start(0.0)
+    flow_index = 1
+    start_groups: List[List[str]] = []
+    for phase_idx, count in enumerate(flow_counts):
+        group = []
+        start_at = phase * (phase_idx + 1)
+        for _ in range(count):
+            fid = f"tcp{flow_index}"
+            add_tcp_flow(sim, net, fid, f"src{flow_index}", f"dst{flow_index}", monitor, start=start_at)
+            group.append(fid)
+            flow_index += 1
+        start_groups.append(group)
+    sim.run(until=run_time)
+
+    result = ExperimentResult(name="fig21_increasing_congestion", scale=s.name, duration=run_time)
+    result.flows.append(
+        collect_flow(monitor, receiver.receiver_id, "tfmcc", phase * 0.5, run_time)
+    )
+    for i in range(1, flow_index):
+        result.flows.append(collect_flow(monitor, f"tcp{i}", "tcp", phase, run_time, False))
+    phases: List[PhaseResult] = []
+    for p in range(total_phases):
+        start, end = p * phase, (p + 1) * phase
+        tfmcc_avg = monitor.average_throughput(receiver.receiver_id, start + phase * 0.3, end)
+        active = [fid for group in start_groups[:p] for fid in group]
+        tcp_avgs = {
+            fid: monitor.average_throughput(fid, start + phase * 0.3, end) for fid in active
+        }
+        phases.append(
+            PhaseResult(f"phase{p}_flows{1 + sum(flow_counts[:p])}", start, end, tfmcc_avg, tcp_avgs)
+        )
+    return result, phases

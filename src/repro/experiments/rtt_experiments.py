@@ -1,0 +1,194 @@
+"""RTT-measurement experiments (Figures 12 and 13).
+
+* Figure 12: a large receiver set behind a single bottleneck (highly
+  correlated loss, the worst case for RTT acquisition) with link RTTs between
+  60 and 140 ms and a 500 ms initial RTT.  The figure plots the number of
+  receivers with a valid RTT measurement over time: initially one per
+  feedback message, decaying to roughly one per feedback round.
+
+* Figure 13: receivers with identical loss; at time ``t`` one receiver's RTT
+  is increased sharply and the experiment measures how long it takes until
+  that receiver becomes the CLR.  The later the change (the more receivers
+  already measured their RTT), the faster the reaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import TFMCCConfig
+from repro.experiments.common import scaled
+from repro.session import TFMCCSession
+from repro.simulator.engine import Simulator
+from repro.simulator.monitor import ThroughputMonitor
+from repro.simulator.topology import Network
+
+
+@dataclass
+class RTTAcquisitionResult:
+    """Time series of receivers with a valid RTT (Figure 12)."""
+
+    num_receivers: int
+    samples: List[Tuple[float, int]]
+
+    def receivers_with_rtt_at(self, time: float) -> int:
+        value = 0
+        for t, count in self.samples:
+            if t > time:
+                break
+            value = count
+        return value
+
+
+def run_rtt_acquisition(
+    scale="quick",
+    num_receivers: int = 1000,
+    bottleneck_bps: float = 4e6,
+    duration: float = 200.0,
+    min_delay: float = 0.03,
+    max_delay: float = 0.07,
+    seed: int = 12,
+    config: Optional[TFMCCConfig] = None,
+    sample_interval: float = 2.0,
+) -> RTTAcquisitionResult:
+    """Figure 12: rate of initial RTT measurements behind a shared bottleneck.
+
+    All receivers share one bottleneck (correlated loss).  Per-receiver
+    one-way delays are spread uniformly between ``min_delay`` and
+    ``max_delay`` (paper: RTTs of 60-140 ms); the initial RTT estimate is the
+    500 ms default.
+    """
+    s = scaled(scale)
+    count = s.receivers(num_receivers)
+    run_time = s.duration(duration)
+    sim = Simulator(seed=seed)
+    cfg = config if config is not None else TFMCCConfig()
+
+    net = Network(sim)
+    bottleneck = s.bandwidth(bottleneck_bps)
+    jitter = 1000.0 * 8.0 / bottleneck
+    net.add_duplex_link("sender", "hub", bottleneck, 0.005, jitter=jitter)
+    # Receivers hang off the hub via dedicated uncongested links with varying
+    # delays; congestion (and hence correlated loss) occurs at the bottleneck.
+    for i in range(count):
+        delay = min_delay + (max_delay - min_delay) * (i / max(count - 1, 1))
+        net.add_duplex_link("hub", f"leaf{i}", bottleneck * 20, delay, jitter=jitter)
+    net.build_routes()
+
+    monitor = ThroughputMonitor(sim, interval=1.0)
+    session = TFMCCSession(sim, net, sender_node="sender", config=cfg, monitor=monitor)
+    for i in range(count):
+        session.add_receiver(f"leaf{i}")
+    session.start(0.0)
+
+    samples: List[Tuple[float, int]] = []
+
+    def sample() -> None:
+        samples.append((sim.now, session.receivers_with_valid_rtt()))
+        sim.schedule(sample_interval, sample)
+
+    sim.schedule(sample_interval, sample)
+    sim.run(until=run_time)
+    return RTTAcquisitionResult(num_receivers=count, samples=samples)
+
+
+@dataclass
+class RTTChangeResult:
+    """Reaction delay to an RTT increase (one point of Figure 13)."""
+
+    num_receivers: int
+    change_time: float
+    reaction_delay: float
+    reacted: bool
+
+
+def run_rtt_change_reaction(
+    scale="quick",
+    num_receivers: int = 200,
+    change_times: Sequence[float] = (10.0, 40.0, 160.0),
+    base_delay: float = 0.03,
+    high_delay: float = 0.3,
+    loss_rate: float = 0.02,
+    link_bps: float = 2e6,
+    seed: int = 13,
+    config: Optional[TFMCCConfig] = None,
+    max_wait: float = 150.0,
+) -> List[RTTChangeResult]:
+    """Figure 13: delay until a high-RTT receiver is selected as CLR.
+
+    All receivers experience independent loss at the same rate; at
+    ``change_time`` the one-way delay of receiver 0's link is increased from
+    ``base_delay`` to ``high_delay``.  The reaction delay is the time until
+    the sender selects that receiver as CLR.
+    """
+    s = scaled(scale)
+    count = s.receivers(num_receivers)
+    results: List[RTTChangeResult] = []
+    for change_time in change_times:
+        change_at = change_time * s.time_factor if s.time_factor != 1.0 else change_time
+        change_at = max(change_at, 5.0)
+        results.append(
+            _single_rtt_change_run(
+                count,
+                change_at,
+                base_delay,
+                high_delay,
+                loss_rate,
+                s.bandwidth(link_bps),
+                seed + int(change_time),
+                config,
+                max_wait * max(s.time_factor, 0.5),
+            )
+        )
+    return results
+
+
+def _single_rtt_change_run(
+    count: int,
+    change_at: float,
+    base_delay: float,
+    high_delay: float,
+    loss_rate: float,
+    link_bps: float,
+    seed: int,
+    config: Optional[TFMCCConfig],
+    max_wait: float,
+) -> RTTChangeResult:
+    sim = Simulator(seed=seed)
+    net = Network(sim)
+    jitter = 1000.0 * 8.0 / link_bps
+    net.add_duplex_link("sender", "hub", link_bps * 10, 0.001, jitter=jitter)
+    links = []
+    for i in range(count):
+        fwd, _bwd = net.add_duplex_link(
+            "hub", f"leaf{i}", link_bps, base_delay, loss_rate=loss_rate, jitter=jitter
+        )
+        links.append(fwd)
+    net.build_routes()
+    monitor = ThroughputMonitor(sim, interval=1.0)
+    session = TFMCCSession(sim, net, sender_node="sender", config=config, monitor=monitor)
+    receivers = [session.add_receiver(f"leaf{i}") for i in range(count)]
+    target = receivers[0]
+    session.start(0.0)
+
+    state = {"reacted_at": None}
+
+    def apply_change() -> None:
+        links[0].delay = high_delay
+
+    def check_reaction() -> None:
+        if state["reacted_at"] is None:
+            if session.sender.clr_id == target.receiver_id and sim.now > change_at:
+                state["reacted_at"] = sim.now
+            else:
+                sim.schedule(0.5, check_reaction)
+
+    sim.schedule_at(change_at, apply_change)
+    sim.schedule_at(change_at, check_reaction)
+    sim.run(until=change_at + max_wait)
+    reacted = state["reacted_at"] is not None
+    delay = (state["reacted_at"] - change_at) if reacted else max_wait
+    return RTTChangeResult(
+        num_receivers=count, change_time=change_at, reaction_delay=delay, reacted=reacted
+    )

@@ -1,0 +1,127 @@
+"""Slowstart experiment (Figure 14).
+
+The paper measures the maximum rate reached during slowstart for three
+scenarios -- TFMCC alone on the link, TFMCC with one competing TCP flow, and
+TFMCC with many competing TCP flows (high statistical multiplexing) -- as a
+function of the number of receivers.  On an empty link TFMCC overshoots to
+roughly twice the bottleneck bandwidth; with competition the overshoot stays
+below the fair rate and decreases as the receiver set grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.config import TFMCCConfig
+from repro.experiments.common import add_tcp_flow, scaled
+from repro.session import TFMCCSession
+from repro.simulator.engine import Simulator
+from repro.simulator.monitor import ThroughputMonitor
+from repro.simulator.topology import Network
+
+
+@dataclass
+class SlowstartResult:
+    """Maximum slowstart rate for one scenario and receiver count."""
+
+    scenario: str
+    num_receivers: int
+    max_slowstart_rate_bps: float
+    slowstart_duration: float
+    fair_rate_bps: float
+
+
+def run_max_slowstart_rate(
+    scale="quick",
+    receiver_counts: Sequence[int] = (2, 8, 32),
+    scenario: str = "alone",
+    bottleneck_bps: float = 1e6,
+    num_tcp_high_mux: int = 8,
+    duration: float = 60.0,
+    seed: int = 14,
+    config: Optional[TFMCCConfig] = None,
+) -> List[SlowstartResult]:
+    """Figure 14: maximum sending rate reached during slowstart.
+
+    Parameters
+    ----------
+    scenario:
+        ``"alone"`` (empty link), ``"one_tcp"`` (one competing TCP flow) or
+        ``"high_mux"`` (``num_tcp_high_mux`` competing TCP flows).  In the
+        paper the fair rate of the TFMCC flow is 1 Mbit/s in all three
+        scenarios, so the bottleneck is scaled with the competing flow count.
+    """
+    if scenario not in ("alone", "one_tcp", "high_mux"):
+        raise ValueError(f"unknown scenario {scenario!r}")
+    s = scaled(scale)
+    results = []
+    for count in receiver_counts:
+        results.append(
+            _single_slowstart_run(
+                s,
+                max(1, count),
+                scenario,
+                bottleneck_bps,
+                num_tcp_high_mux,
+                duration,
+                seed + count,
+                config,
+            )
+        )
+    return results
+
+
+def _single_slowstart_run(
+    s,
+    num_receivers: int,
+    scenario: str,
+    bottleneck_bps: float,
+    num_tcp_high_mux: int,
+    duration: float,
+    seed: int,
+    config: Optional[TFMCCConfig],
+) -> SlowstartResult:
+    num_tcp = {"alone": 0, "one_tcp": 1, "high_mux": num_tcp_high_mux}[scenario]
+    fair_rate = s.bandwidth(bottleneck_bps)
+    bottleneck = fair_rate * (num_tcp + 1)
+    run_time = s.duration(duration)
+    sim = Simulator(seed=seed)
+    net = Network.dumbbell(
+        sim,
+        num_left=num_tcp + 1,
+        num_right=max(num_receivers, num_tcp + 1),
+        bottleneck_bandwidth=bottleneck,
+        bottleneck_delay=0.02,
+        access_bandwidth=bottleneck * 12.5,
+        access_delay=0.001,
+    )
+    monitor = ThroughputMonitor(sim, interval=0.5)
+    session = TFMCCSession(sim, net, sender_node="src0", config=config, monitor=monitor)
+    for i in range(num_receivers):
+        session.add_receiver(f"dst{i}")
+    for i in range(1, num_tcp + 1):
+        add_tcp_flow(sim, net, f"tcp{i}", f"src{i}", f"dst{i}", monitor)
+    session.start(0.1)
+
+    peak = {"rate": 0.0}
+
+    def sample() -> None:
+        if session.sender.in_slowstart:
+            peak["rate"] = max(peak["rate"], session.sender.current_rate_bps)
+            sim.schedule(0.05, sample)
+
+    sim.schedule(0.2, sample)
+    sim.run(until=run_time)
+    slowstart_end = (
+        session.sender.slowstart_exited_at
+        if session.sender.slowstart_exited_at is not None
+        else run_time
+    )
+    return SlowstartResult(
+        scenario=scenario,
+        num_receivers=num_receivers,
+        max_slowstart_rate_bps=peak["rate"],
+        slowstart_duration=slowstart_end - 0.1,
+        fair_rate_bps=fair_rate,
+    )

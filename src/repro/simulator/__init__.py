@@ -1,0 +1,39 @@
+"""Packet-level discrete-event network simulator.
+
+This subpackage is the substrate on which the TFMCC, TFRC and TCP agents run.
+It provides:
+
+* :class:`~repro.simulator.engine.Simulator` -- the event loop,
+* :class:`~repro.simulator.packet.Packet` -- packets and packet types,
+* :class:`~repro.simulator.queues.DropTailQueue` / :class:`~repro.simulator.queues.REDQueue`,
+* :class:`~repro.simulator.link.Link` -- bandwidth / delay / loss links,
+* :class:`~repro.simulator.node.Node` and :class:`~repro.simulator.node.Agent`,
+* :class:`~repro.simulator.topology.Network` -- routing and topology helpers,
+* :class:`~repro.simulator.multicast.MulticastGroup` -- distribution trees,
+* :class:`~repro.simulator.monitor.ThroughputMonitor` -- measurement helpers.
+"""
+
+from repro.simulator.engine import EventHandle, Simulator
+from repro.simulator.link import Link
+from repro.simulator.monitor import FlowStats, ThroughputMonitor
+from repro.simulator.multicast import MulticastGroup
+from repro.simulator.node import Agent, Node
+from repro.simulator.packet import Packet, PacketType
+from repro.simulator.queues import DropTailQueue, REDQueue
+from repro.simulator.topology import Network
+
+__all__ = [
+    "Agent",
+    "DropTailQueue",
+    "EventHandle",
+    "FlowStats",
+    "Link",
+    "MulticastGroup",
+    "Network",
+    "Node",
+    "Packet",
+    "PacketType",
+    "REDQueue",
+    "Simulator",
+    "ThroughputMonitor",
+]

@@ -1,0 +1,156 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic calendar-queue (binary-heap) event loop.  Events are
+callbacks scheduled at absolute simulation times.  Scheduling returns an
+:class:`EventHandle` that can be cancelled, which is how protocol timers
+(retransmission timers, feedback timers, CLR timeouts) are implemented.
+
+The engine owns a seeded :class:`random.Random` instance so that every
+simulation run is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulator is used incorrectly."""
+
+
+class EventHandle:
+    """Handle to a scheduled event.
+
+    The handle allows the owner to cancel the event before it fires and to
+    query whether it already fired.  Cancelled events stay in the heap but are
+    skipped by the main loop (lazy deletion).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Cancel the event; a cancelled event never fires."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and not yet fired or cancelled."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"EventHandle(t={self.time:.6f}, {state}, {self.callback!r})"
+
+
+class Simulator:
+    """Discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned random number generator.  Two runs with
+        the same seed and the same scheduling pattern produce identical
+        results.
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self._now = 0.0
+        self._queue: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.rng = random.Random(seed)
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        handle = EventHandle(time, next(self._seq), callback, args)
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event finishes."""
+        self._stopped = True
+
+    def peek(self) -> Optional[float]:
+        """Return the time of the next pending event, or None if empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Simulation time at which to stop.  Events scheduled at exactly
+            ``until`` are *not* executed.  If None, runs until the event queue
+            drains.
+        max_events:
+            Safety limit on the number of events processed in this call.
+
+        Returns
+        -------
+        float
+            The simulation time when the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._queue and not self._stopped:
+                handle = self._queue[0]
+                if handle.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and handle.time >= until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = handle.time
+                handle.fired = True
+                handle.callback(*handle.args)
+                self.events_processed += 1
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+            else:
+                if until is not None and not self._stopped:
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now

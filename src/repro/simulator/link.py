@@ -1,0 +1,159 @@
+"""Unidirectional links with bandwidth, propagation delay and Bernoulli loss.
+
+A link models a store-and-forward output interface: packets wait in the
+attached queue while the link is busy serialising a previous packet, then take
+``size * 8 / bandwidth`` seconds to transmit followed by ``delay`` seconds of
+propagation before arriving at the downstream node.
+
+Random (Bernoulli) loss is applied at enqueue time; it models lossy links in
+the paper's star topologies (e.g. Figure 11's 0.1 %-12.5 % loss links) without
+requiring the loss to come from queue overflow.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.simulator.packet import Packet
+from repro.simulator.queues import DropTailQueue, PacketQueue, REDQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.simulator.engine import Simulator
+    from repro.simulator.node import Node
+
+
+class Link:
+    """A unidirectional link from ``src`` to ``dst``.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    src, dst:
+        Endpoint nodes.
+    bandwidth:
+        Link capacity in bits per second.
+    delay:
+        One-way propagation delay in seconds.
+    queue:
+        Packet queue used while the link is busy; defaults to a 50-packet
+        drop-tail queue as in the paper's ns-2 setups.
+    loss_rate:
+        Independent Bernoulli drop probability applied to every packet.
+    jitter:
+        Maximum random per-packet processing delay in seconds, added to the
+        serialisation time (uniformly distributed, FIFO order preserved).
+        Deterministic simulations of drop-tail queues suffer from severe
+        phase effects (ACK-clocked flows lock into favourable queue phases);
+        a small jitter on access links -- the equivalent of ns-2's random
+        "overhead" -- removes them.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        src: "Node",
+        dst: "Node",
+        bandwidth: float,
+        delay: float,
+        queue: Optional[PacketQueue] = None,
+        loss_rate: float = 0.0,
+        name: Optional[str] = None,
+        jitter: float = 0.0,
+    ):
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.bandwidth = bandwidth
+        self.delay = delay
+        self.loss_rate = loss_rate
+        if jitter < 0:
+            raise ValueError("jitter cannot be negative")
+        self.jitter = jitter
+        self.queue = queue if queue is not None else DropTailQueue(limit=50)
+        if isinstance(self.queue, REDQueue):
+            self.queue.bind_rng(sim.rng)
+        self.name = name or f"{src.node_id}->{dst.node_id}"
+        self._busy = False
+        # Statistics
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.random_drops = 0
+        self.bytes_per_flow: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ API
+
+    def transmission_time(self, packet: Packet) -> float:
+        """Serialisation time of ``packet`` on this link in seconds."""
+        return packet.size * 8.0 / self.bandwidth
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Offer a packet to the link.  Returns False if dropped."""
+        if self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate:
+            self.random_drops += 1
+            return False
+        if self._busy:
+            return self.queue.enqueue(packet, self.sim.now)
+        self._start_transmission(packet)
+        return True
+
+    @property
+    def queue_drops(self) -> int:
+        """Packets dropped due to queue overflow (congestion loss)."""
+        return self.queue.drops
+
+    @property
+    def total_drops(self) -> int:
+        """All packets dropped on this link (queue + random loss)."""
+        return self.queue.drops + self.random_drops
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def utilisation(self, duration: float) -> float:
+        """Fraction of capacity used over ``duration`` seconds."""
+        if duration <= 0:
+            return 0.0
+        return (self.bytes_sent * 8.0) / (self.bandwidth * duration)
+
+    # ------------------------------------------------------------ internals
+
+    def _start_transmission(self, packet: Packet) -> None:
+        self._busy = True
+        hold = self.transmission_time(packet)
+        if self.jitter > 0.0:
+            hold += self.sim.rng.random() * self.jitter
+        self.sim.schedule(hold, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self.packets_sent += 1
+        self.bytes_sent += packet.size
+        self.bytes_per_flow[packet.flow_id] = (
+            self.bytes_per_flow.get(packet.flow_id, 0) + packet.size
+        )
+        # Propagation: packet arrives at the downstream node after `delay`.
+        self.sim.schedule(self.delay, self.dst.receive, packet, self)
+        nxt = self.queue.dequeue()
+        if nxt is not None:
+            self._start_transmission(nxt)
+        else:
+            self._busy = False
+            if isinstance(self.queue, REDQueue):
+                self.queue.mark_idle(self.sim.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Link({self.name}, {self.bandwidth / 1e6:.2f} Mbit/s, "
+            f"{self.delay * 1e3:.1f} ms, loss={self.loss_rate})"
+        )

@@ -1,0 +1,128 @@
+"""Measurement utilities: per-flow throughput time series and statistics.
+
+The figures in the paper are throughput-versus-time plots and aggregate
+statistics derived from them.  :class:`ThroughputMonitor` bins received bytes
+per flow into fixed-width intervals; :class:`FlowStats` summarises a series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.simulator.engine import Simulator
+
+
+@dataclass
+class FlowStats:
+    """Summary statistics of a throughput time series (bits per second)."""
+
+    mean: float
+    median: float
+    stdev: float
+    minimum: float
+    maximum: float
+    coefficient_of_variation: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.coefficient_of_variation = self.stdev / self.mean if self.mean > 0 else 0.0
+
+    @classmethod
+    def from_series(cls, values: Sequence[float]) -> "FlowStats":
+        """Compute statistics for a list of per-interval throughputs."""
+        if not values:
+            return cls(0.0, 0.0, 0.0, 0.0, 0.0)
+        n = len(values)
+        mean = sum(values) / n
+        ordered = sorted(values)
+        mid = n // 2
+        median = ordered[mid] if n % 2 == 1 else 0.5 * (ordered[mid - 1] + ordered[mid])
+        variance = sum((v - mean) ** 2 for v in values) / n
+        return cls(mean, median, math.sqrt(variance), ordered[0], ordered[-1])
+
+
+class ThroughputMonitor:
+    """Bin received bytes per flow into fixed-width time intervals.
+
+    Protocol agents call :meth:`record` whenever they accept a data packet.
+    The monitor produces per-flow throughput time series in bits per second.
+    """
+
+    def __init__(self, sim: Simulator, interval: float = 1.0):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.interval = interval
+        self._bytes: Dict[str, Dict[int, int]] = {}
+
+    def record(self, flow_id: str, size: int, when: Optional[float] = None) -> None:
+        """Record ``size`` bytes received for ``flow_id``."""
+        t = self.sim.now if when is None else when
+        bin_index = int(t / self.interval)
+        flow_bins = self._bytes.setdefault(flow_id, {})
+        flow_bins[bin_index] = flow_bins.get(bin_index, 0) + size
+
+    def flows(self) -> List[str]:
+        """All flow ids that recorded any traffic."""
+        return list(self._bytes)
+
+    def total_bytes(self, flow_id: str) -> int:
+        """Total bytes recorded for a flow."""
+        return sum(self._bytes.get(flow_id, {}).values())
+
+    def series(
+        self, flow_id: str, t_start: float = 0.0, t_end: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """Throughput time series ``[(bin_start_time, bits_per_second), ...]``.
+
+        Bins with no traffic are reported as zero so the series is contiguous.
+        """
+        flow_bins = self._bytes.get(flow_id, {})
+        end = t_end if t_end is not None else self.sim.now
+        first = int(t_start / self.interval)
+        last = int(math.ceil(end / self.interval))
+        points = []
+        for b in range(first, max(last, first)):
+            byte_count = flow_bins.get(b, 0)
+            points.append((b * self.interval, byte_count * 8.0 / self.interval))
+        return points
+
+    def throughputs(
+        self, flow_id: str, t_start: float = 0.0, t_end: Optional[float] = None
+    ) -> List[float]:
+        """Just the per-bin throughput values (bits per second)."""
+        return [v for _t, v in self.series(flow_id, t_start, t_end)]
+
+    def average_throughput(
+        self, flow_id: str, t_start: float = 0.0, t_end: Optional[float] = None
+    ) -> float:
+        """Average throughput in bits per second over ``[t_start, t_end]``."""
+        end = t_end if t_end is not None else self.sim.now
+        duration = end - t_start
+        if duration <= 0:
+            return 0.0
+        flow_bins = self._bytes.get(flow_id, {})
+        first = int(t_start / self.interval)
+        last = int(math.ceil(end / self.interval))
+        total = sum(flow_bins.get(b, 0) for b in range(first, last))
+        return total * 8.0 / duration
+
+    def stats(
+        self, flow_id: str, t_start: float = 0.0, t_end: Optional[float] = None
+    ) -> FlowStats:
+        """Summary statistics of the per-interval throughput of a flow."""
+        return FlowStats.from_series(self.throughputs(flow_id, t_start, t_end))
+
+
+def fairness_index(throughputs: Sequence[float]) -> float:
+    """Jain's fairness index of a set of average throughputs.
+
+    Returns a value in (0, 1]; 1 means perfectly equal shares.
+    """
+    values = [v for v in throughputs if v >= 0]
+    if not values or all(v == 0 for v in values):
+        return 0.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    return (total * total) / (len(values) * squares)

@@ -1,0 +1,92 @@
+"""Multicast groups and source-rooted distribution trees.
+
+The paper assumes an underlying multicast routing protocol that delivers
+source traffic along a distribution tree.  We model this by computing, for a
+given source node, the union of shortest paths from the source to every
+member node.  Each on-tree node gets a multicast forwarding entry
+``group -> {downstream neighbours}``.
+
+Receivers can join and leave at any time (the responsiveness and late-join
+experiments rely on this); the tree is recomputed on membership change, which
+corresponds to an idealised instantaneous graft/prune.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.simulator.node import Agent
+from repro.simulator.topology import Network
+
+
+class MulticastGroup:
+    """A single-source multicast group.
+
+    Parameters
+    ----------
+    network:
+        The network in which the group exists.
+    group_id:
+        Group identifier carried in packets.
+    source:
+        Node id of the (single) source.  The distribution tree is rooted here.
+    """
+
+    def __init__(self, network: Network, group_id: str, source: str):
+        self.network = network
+        self.group_id = group_id
+        self.source = source
+        # Members: (node id, agent) pairs.
+        self._members: List[Tuple[str, Agent]] = []
+        self._rebuild_tree()
+
+    # ------------------------------------------------------------ membership
+
+    @property
+    def members(self) -> List[Tuple[str, Agent]]:
+        """Current (node id, agent) membership list."""
+        return list(self._members)
+
+    @property
+    def member_count(self) -> int:
+        return len(self._members)
+
+    def join(self, node_id: str, agent: Agent) -> None:
+        """Add ``agent`` at ``node_id`` to the group and regraft the tree."""
+        node = self.network.node(node_id)
+        node.join_group(self.group_id, agent)
+        self._members.append((node_id, agent))
+        self._rebuild_tree()
+
+    def leave(self, node_id: str, agent: Agent) -> None:
+        """Remove ``agent`` at ``node_id`` from the group and prune the tree."""
+        node = self.network.node(node_id)
+        node.leave_group(self.group_id, agent)
+        self._members = [(nid, a) for nid, a in self._members if a is not agent]
+        self._rebuild_tree()
+
+    # ------------------------------------------------------------ tree
+
+    def _rebuild_tree(self) -> None:
+        """Recompute the source-rooted distribution tree from shortest paths."""
+        # Clear existing forwarding state for this group.
+        for node in self.network.nodes.values():
+            node.mcast_routes.pop(self.group_id, None)
+        downstream: Dict[str, Set[str]] = {}
+        member_nodes = {nid for nid, _agent in self._members}
+        for member in member_nodes:
+            if member == self.source:
+                continue
+            path = self.network.path(self.source, member)
+            for hop, nxt in zip(path, path[1:]):
+                downstream.setdefault(hop, set()).add(nxt)
+        for node_id, neighbours in downstream.items():
+            self.network.node(node_id).mcast_routes[self.group_id] = neighbours
+
+    def tree_edges(self) -> Set[Tuple[str, str]]:
+        """Return the set of directed edges currently in the distribution tree."""
+        edges: Set[Tuple[str, str]] = set()
+        for node in self.network.nodes.values():
+            for neighbour in node.mcast_routes.get(self.group_id, set()):
+                edges.add((node.node_id, neighbour))
+        return edges

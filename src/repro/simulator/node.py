@@ -1,0 +1,173 @@
+"""Nodes, forwarding and the protocol-agent base class.
+
+A node forwards packets according to a unicast routing table (destination
+node id -> next-hop link) and a multicast forwarding table (group id -> set of
+downstream links) and delivers packets to locally attached agents.
+
+Agents (TCP senders/sinks, TFRC and TFMCC senders/receivers) subclass
+:class:`Agent` and are attached to a node under a flow id.  Multicast
+receivers additionally register as members of a multicast group.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from repro.simulator.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.engine import Simulator
+    from repro.simulator.link import Link
+
+
+class RoutingError(RuntimeError):
+    """Raised when a packet cannot be forwarded."""
+
+
+class Agent:
+    """Base class for protocol endpoints attached to a node.
+
+    Subclasses implement :meth:`receive`.  Sending is done through
+    :meth:`send`, which hands the packet to the local node for forwarding.
+    """
+
+    def __init__(self, sim: "Simulator", flow_id: str):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.node: Optional["Node"] = None
+
+    def attach(self, node: "Node") -> None:
+        """Called by :meth:`Node.attach_agent`; records the local node."""
+        self.node = node
+
+    @property
+    def node_id(self) -> str:
+        if self.node is None:
+            raise RuntimeError(f"agent {self.flow_id} is not attached to a node")
+        return self.node.node_id
+
+    def send(self, packet: Packet) -> None:
+        """Send a packet into the network from the local node."""
+        if self.node is None:
+            raise RuntimeError(f"agent {self.flow_id} is not attached to a node")
+        packet.sent_at = self.sim.now
+        self.node.send(packet)
+
+    def receive(self, packet: Packet) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Node:
+    """A network node (host or router)."""
+
+    def __init__(self, sim: "Simulator", node_id: str):
+        self.sim = sim
+        self.node_id = node_id
+        self.links: Dict[str, "Link"] = {}  # neighbour node id -> outgoing link
+        self.routes: Dict[str, str] = {}  # destination node id -> neighbour node id
+        self.mcast_routes: Dict[str, Set[str]] = {}  # group -> set of neighbour ids
+        self.agents: Dict[str, Agent] = {}  # flow id -> agent
+        self.group_members: Dict[str, List[Agent]] = {}  # group -> local member agents
+        self.packets_forwarded = 0
+        self.packets_delivered = 0
+        self.packets_unroutable = 0
+
+    # ------------------------------------------------------------ wiring
+
+    def add_link(self, link: "Link") -> None:
+        """Register an outgoing link (called by :class:`Network`)."""
+        self.links[link.dst.node_id] = link
+
+    def attach_agent(self, agent: Agent) -> None:
+        """Attach a protocol agent under its flow id."""
+        if agent.flow_id in self.agents:
+            raise ValueError(f"flow id {agent.flow_id!r} already attached to {self.node_id}")
+        self.agents[agent.flow_id] = agent
+        agent.attach(self)
+
+    def detach_agent(self, agent: Agent) -> None:
+        """Detach a previously attached agent."""
+        if self.agents.get(agent.flow_id) is agent:
+            del self.agents[agent.flow_id]
+
+    def join_group(self, group: str, agent: Agent) -> None:
+        """Register a local agent as member of a multicast group."""
+        members = self.group_members.setdefault(group, [])
+        if agent not in members:
+            members.append(agent)
+
+    def leave_group(self, group: str, agent: Agent) -> None:
+        """Remove a local agent from a multicast group."""
+        members = self.group_members.get(group, [])
+        if agent in members:
+            members.remove(agent)
+        if not members and group in self.group_members:
+            del self.group_members[group]
+
+    # ------------------------------------------------------------ data path
+
+    def send(self, packet: Packet) -> None:
+        """Send a locally originated packet."""
+        if packet.is_multicast:
+            self._forward_multicast(packet, incoming=None, local_origin=True)
+        else:
+            self._forward_unicast(packet)
+
+    def receive(self, packet: Packet, from_link: Optional["Link"] = None) -> None:
+        """Handle a packet arriving from a link (or locally)."""
+        if packet.is_multicast:
+            self._forward_multicast(packet, incoming=from_link, local_origin=False)
+            return
+        if packet.dst == self.node_id:
+            self._deliver(packet)
+            return
+        self._forward_unicast(packet)
+
+    # ------------------------------------------------------------ internals
+
+    def _deliver(self, packet: Packet) -> None:
+        agent = self.agents.get(packet.flow_id)
+        if agent is None:
+            # Packets to departed agents (e.g. a receiver that left) are
+            # silently discarded, as a real host would do.
+            return
+        self.packets_delivered += 1
+        agent.receive(packet)
+
+    def _forward_unicast(self, packet: Packet) -> None:
+        if packet.dst == self.node_id:
+            self._deliver(packet)
+            return
+        next_hop = self.routes.get(packet.dst)
+        if next_hop is None:
+            self.packets_unroutable += 1
+            return
+        link = self.links.get(next_hop)
+        if link is None:
+            self.packets_unroutable += 1
+            return
+        self.packets_forwarded += 1
+        link.enqueue(packet)
+
+    def _forward_multicast(
+        self, packet: Packet, incoming: Optional["Link"], local_origin: bool
+    ) -> None:
+        group = packet.group
+        # Deliver to local members (but never back to the sending agent).
+        for agent in list(self.group_members.get(group, [])):
+            if local_origin and agent.flow_id == packet.flow_id:
+                continue
+            self.packets_delivered += 1
+            agent.receive(packet)
+        # Forward downstream along the distribution tree.
+        for neighbour in self.mcast_routes.get(group, set()):
+            if incoming is not None and neighbour == incoming.src.node_id:
+                continue
+            link = self.links.get(neighbour)
+            if link is None:
+                continue
+            self.packets_forwarded += 1
+            link.enqueue(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.node_id}, links={list(self.links)}, agents={list(self.agents)})"

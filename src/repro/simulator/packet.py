@@ -1,0 +1,77 @@
+"""Packet representation.
+
+Packets are deliberately simple: addressing metadata plus an opaque
+``payload`` object that protocol agents use for their own headers (e.g. the
+TFMCC data-packet header or a TCP segment header).  Packets are treated as
+immutable once sent; multicast forwarding shares the same object along all
+branches, which is safe because links and nodes never mutate packets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+_packet_ids = itertools.count()
+
+
+class PacketType(Enum):
+    """Coarse classification of packets used by monitors and agents."""
+
+    DATA = "data"
+    ACK = "ack"
+    FEEDBACK = "feedback"
+    CONTROL = "control"
+
+
+@dataclass
+class Packet:
+    """A network packet.
+
+    Attributes
+    ----------
+    src:
+        Node id of the originating node.
+    dst:
+        Node id of the destination (ignored for multicast packets).
+    flow_id:
+        Identifies the flow / agent the packet belongs to.  Nodes deliver
+        unicast packets to the local agent registered under this id.
+    size:
+        Size in bytes (headers included); determines serialisation time.
+    ptype:
+        Coarse packet type.
+    group:
+        Multicast group id, or None for unicast packets.
+    seq:
+        Protocol sequence number (meaning defined by the protocol).
+    sent_at:
+        Simulation time at which the packet entered the network.
+    payload:
+        Protocol-specific header object (dataclass or dict).
+    """
+
+    src: str
+    dst: Optional[str]
+    flow_id: str
+    size: int
+    ptype: PacketType = PacketType.DATA
+    group: Optional[str] = None
+    seq: int = 0
+    sent_at: float = 0.0
+    payload: Any = None
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def is_multicast(self) -> bool:
+        """True if this packet is addressed to a multicast group."""
+        return self.group is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        target = self.group if self.is_multicast else self.dst
+        return (
+            f"Packet(flow={self.flow_id}, seq={self.seq}, {self.src}->{target}, "
+            f"{self.size}B, {self.ptype.value})"
+        )

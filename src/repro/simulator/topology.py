@@ -1,0 +1,250 @@
+"""Network topology construction and unicast routing.
+
+:class:`Network` wraps a set of :class:`~repro.simulator.node.Node` objects
+and their links, keeps an undirected ``networkx`` view of the topology and
+computes shortest-path (by propagation delay) unicast routes.  It also offers
+the topology builders used throughout the paper's evaluation:
+
+* :meth:`Network.dumbbell` -- the single-bottleneck topology of Figure 8,
+* :meth:`Network.star` -- the star topology used for the responsiveness
+  experiments (Figures 11, 13 and 20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.simulator.engine import Simulator
+from repro.simulator.link import Link
+from repro.simulator.node import Agent, Node
+from repro.simulator.queues import DropTailQueue, PacketQueue
+
+
+@dataclass
+class LinkSpec:
+    """Parameters of one direction of a duplex link."""
+
+    bandwidth: float
+    delay: float
+    queue_limit: int = 50
+    loss_rate: float = 0.0
+
+
+class Network:
+    """A collection of nodes and links with automatic route computation."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.nodes: Dict[str, Node] = {}
+        self.links: List[Link] = []
+        self.graph = nx.Graph()
+
+    # ------------------------------------------------------------ topology
+
+    def add_node(self, node_id: str) -> Node:
+        """Create (or return the existing) node with the given id."""
+        if node_id in self.nodes:
+            return self.nodes[node_id]
+        node = Node(self.sim, node_id)
+        self.nodes[node_id] = node
+        self.graph.add_node(node_id)
+        return node
+
+    def node(self, node_id: str) -> Node:
+        """Return an existing node."""
+        return self.nodes[node_id]
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        bandwidth: float,
+        delay: float,
+        queue_limit: int = 50,
+        loss_rate: float = 0.0,
+        queue_factory: Optional[Callable[[], PacketQueue]] = None,
+        jitter: float = 0.0,
+    ) -> Link:
+        """Add a unidirectional link from ``src`` to ``dst``."""
+        src_node = self.add_node(src)
+        dst_node = self.add_node(dst)
+        queue = queue_factory() if queue_factory is not None else DropTailQueue(queue_limit)
+        link = Link(
+            self.sim, src_node, dst_node, bandwidth, delay, queue, loss_rate, jitter=jitter
+        )
+        src_node.add_link(link)
+        self.links.append(link)
+        self.graph.add_edge(src, dst, delay=delay)
+        return link
+
+    def add_duplex_link(
+        self,
+        a: str,
+        b: str,
+        bandwidth: float,
+        delay: float,
+        queue_limit: int = 50,
+        loss_rate: float = 0.0,
+        reverse_loss_rate: Optional[float] = None,
+        queue_factory: Optional[Callable[[], PacketQueue]] = None,
+        jitter: float = 0.0,
+    ) -> Tuple[Link, Link]:
+        """Add a bidirectional link (two unidirectional links) between a and b.
+
+        ``reverse_loss_rate`` allows asymmetric loss (used by the lossy
+        return-path experiment, Figure 19); it defaults to ``loss_rate``.
+        """
+        forward = self.add_link(
+            a, b, bandwidth, delay, queue_limit, loss_rate, queue_factory, jitter
+        )
+        backward = self.add_link(
+            b,
+            a,
+            bandwidth,
+            delay,
+            queue_limit,
+            loss_rate if reverse_loss_rate is None else reverse_loss_rate,
+            queue_factory,
+            jitter,
+        )
+        return forward, backward
+
+    def link_between(self, src: str, dst: str) -> Optional[Link]:
+        """Return the directed link from ``src`` to ``dst`` if it exists."""
+        node = self.nodes.get(src)
+        if node is None:
+            return None
+        return node.links.get(dst)
+
+    # ------------------------------------------------------------ routing
+
+    def build_routes(self, weight: str = "delay") -> None:
+        """Compute shortest-path unicast routes for all node pairs.
+
+        Must be called after the topology is complete (and again if it
+        changes).  Routes are stored in each node's routing table.
+        """
+        paths = dict(nx.all_pairs_dijkstra_path(self.graph, weight=weight))
+        for src_id, node in self.nodes.items():
+            node.routes.clear()
+            for dst_id in self.nodes:
+                if dst_id == src_id:
+                    continue
+                path = paths.get(src_id, {}).get(dst_id)
+                if path is None or len(path) < 2:
+                    continue
+                node.routes[dst_id] = path[1]
+
+    def path(self, src: str, dst: str, weight: str = "delay") -> List[str]:
+        """Shortest path between two nodes as a list of node ids."""
+        return nx.shortest_path(self.graph, src, dst, weight=weight)
+
+    def path_delay(self, src: str, dst: str) -> float:
+        """Sum of link propagation delays along the shortest path."""
+        nodes = self.path(src, dst)
+        total = 0.0
+        for a, b in zip(nodes, nodes[1:]):
+            link = self.link_between(a, b)
+            if link is not None:
+                total += link.delay
+        return total
+
+    # ------------------------------------------------------------ attachment
+
+    def attach(self, node_id: str, agent: Agent) -> Agent:
+        """Attach an agent to a node (creating the node if necessary)."""
+        self.add_node(node_id).attach_agent(agent)
+        return agent
+
+    # ------------------------------------------------------------ builders
+
+    @classmethod
+    def dumbbell(
+        cls,
+        sim: Simulator,
+        num_left: int,
+        num_right: int,
+        bottleneck_bandwidth: float,
+        bottleneck_delay: float,
+        access_bandwidth: float,
+        access_delay: float,
+        queue_limit: int = 50,
+        access_queue_limit: Optional[int] = None,
+        access_jitter: Optional[float] = None,
+    ) -> "Network":
+        """Build the classic dumbbell / single-bottleneck topology (Figure 8).
+
+        Nodes are named ``src0..src{num_left-1}``, ``dst0..dst{num_right-1}``,
+        ``router_left`` and ``router_right``.  ``access_jitter`` adds random
+        per-packet processing delay on the access links (default: one
+        bottleneck packet time) to break drop-tail phase effects.
+        """
+        net = cls(sim)
+        access_q = access_queue_limit if access_queue_limit is not None else queue_limit
+        if access_jitter is None:
+            access_jitter = 1000.0 * 8.0 / bottleneck_bandwidth
+        net.add_duplex_link(
+            "router_left",
+            "router_right",
+            bottleneck_bandwidth,
+            bottleneck_delay,
+            queue_limit,
+        )
+        for i in range(num_left):
+            net.add_duplex_link(
+                f"src{i}",
+                "router_left",
+                access_bandwidth,
+                access_delay,
+                access_q,
+                jitter=access_jitter,
+            )
+        for i in range(num_right):
+            net.add_duplex_link(
+                f"dst{i}",
+                "router_right",
+                access_bandwidth,
+                access_delay,
+                access_q,
+                jitter=access_jitter,
+            )
+        net.build_routes()
+        return net
+
+    @classmethod
+    def star(
+        cls,
+        sim: Simulator,
+        num_leaves: int,
+        leaf_specs: Optional[List[LinkSpec]] = None,
+        hub_bandwidth: float = 100e6,
+        hub_delay: float = 0.001,
+        source_name: str = "source",
+        queue_limit: int = 50,
+    ) -> "Network":
+        """Build a star topology: a source behind a hub with per-leaf links.
+
+        ``leaf_specs`` gives per-leaf link parameters (bandwidth, delay, queue
+        limit, loss rate); leaves are named ``leaf0..leaf{num_leaves-1}``.
+        """
+        net = cls(sim)
+        net.add_duplex_link(source_name, "hub", hub_bandwidth, hub_delay, queue_limit)
+        for i in range(num_leaves):
+            spec = (
+                leaf_specs[i]
+                if leaf_specs is not None and i < len(leaf_specs)
+                else LinkSpec(bandwidth=10e6, delay=0.01)
+            )
+            net.add_duplex_link(
+                f"leaf{i}",
+                "hub",
+                spec.bandwidth,
+                spec.delay,
+                spec.queue_limit,
+                spec.loss_rate,
+            )
+        net.build_routes()
+        return net

@@ -1,0 +1,13 @@
+"""Packet-level TCP Reno implementation used as the competing/baseline flow.
+
+The paper evaluates TFMCC against TCP flows sharing the same bottlenecks.
+This subpackage provides a greedy (FTP-like) TCP Reno sender and a cumulative
+ACK sink sufficient for throughput competition experiments: slow start,
+congestion avoidance, fast retransmit / fast recovery, retransmission
+timeouts with Jacobson/Karn RTT estimation.
+"""
+
+from repro.tcp.reno import TCPRenoSender
+from repro.tcp.sink import TCPSink
+
+__all__ = ["TCPRenoSender", "TCPSink"]

@@ -1,0 +1,32 @@
+"""TCP segment headers carried in packet payloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TCPSegment:
+    """Header of a TCP data segment.
+
+    ``seq`` numbers whole segments (not bytes) for simplicity; this matches
+    the ns-2 one-way TCP agents used in the paper's simulations.
+    """
+
+    seq: int
+    timestamp: float
+    is_retransmit: bool = False
+
+
+@dataclass
+class TCPAck:
+    """Header of a (cumulative) TCP acknowledgement.
+
+    ``ack`` is the next expected segment sequence number.  ``echo_timestamp``
+    echoes the timestamp of the segment that triggered this ACK and is used
+    for RTT sampling (subject to Karn's rule for retransmits).
+    """
+
+    ack: int
+    echo_timestamp: float
+    echoed_retransmit: bool = False

@@ -1,0 +1,19 @@
+"""Unicast TFRC (TCP-Friendly Rate Control), the protocol TFMCC extends.
+
+TFRC is the unicast ancestor of TFMCC (Floyd, Handley, Padhye & Widmer,
+SIGCOMM 2000).  The implementation here reuses the same control equation and
+loss-history machinery as TFMCC (:mod:`repro.core`), but with the roles of
+the original protocol: the receiver measures the loss event rate and reports
+it once per RTT, the sender measures the RTT from the reports and computes
+the allowed sending rate.
+
+Having TFRC in the library serves two purposes: it is a baseline for
+unicast comparisons, and its behaviour documents which parts of TFMCC are
+genuinely new (receiver-side rate computation, scalable RTT measurement and
+feedback suppression).
+"""
+
+from repro.tfrc.receiver import TFRCReceiver
+from repro.tfrc.sender import TFRCSender
+
+__all__ = ["TFRCReceiver", "TFRCSender"]

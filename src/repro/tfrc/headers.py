@@ -1,0 +1,27 @@
+"""TFRC packet headers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TFRCDataHeader:
+    """Header of a TFRC data packet."""
+
+    seq: int
+    timestamp: float
+    rtt_estimate: float  # sender's current RTT estimate (for loss aggregation)
+    send_rate: float  # bytes per second
+
+
+@dataclass
+class TFRCFeedbackHeader:
+    """Header of a TFRC receiver report (sent roughly once per RTT)."""
+
+    timestamp: float  # receiver clock when sent
+    echo_timestamp: float  # timestamp of the last data packet received
+    echo_delay: float  # time between receiving that packet and sending this report
+    receive_rate: float  # bytes per second
+    loss_event_rate: float
+    has_loss: bool

@@ -1,0 +1,153 @@
+"""TFRC sender: equation-based rate control from receiver reports."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import TFMCCConfig
+from repro.core.equations import padhye_throughput
+from repro.simulator.engine import EventHandle, Simulator
+from repro.simulator.monitor import ThroughputMonitor
+from repro.simulator.node import Agent
+from repro.simulator.packet import Packet, PacketType
+from repro.tfrc.headers import TFRCDataHeader, TFRCFeedbackHeader
+
+
+class TFRCSender(Agent):
+    """Sender half of a unicast TFRC flow.
+
+    The sender measures the RTT from echoed timestamps in receiver reports,
+    feeds the reported loss event rate and the measured RTT into the control
+    equation, and sets its rate to ``min(X_calc, 2 * X_recv)`` as in the TFRC
+    specification.  Before the first loss report it doubles its rate once per
+    RTT (slowstart), bounded by twice the reported receive rate.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        dst: str,
+        config: Optional[TFMCCConfig] = None,
+        monitor: Optional[ThroughputMonitor] = None,
+    ):
+        super().__init__(sim, flow_id)
+        self.dst = dst
+        self.config = config if config is not None else TFMCCConfig()
+        self.monitor = monitor
+        cfg = self.config
+        self.current_rate = cfg.initial_rate_packets * cfg.packet_size / cfg.initial_rtt
+        self.min_rate = cfg.packet_size / (2.0 * cfg.feedback_delay)
+        self.rtt: Optional[float] = None
+        self.in_slowstart = True
+        self.seq = 0
+        self.packets_sent = 0
+        self.feedback_received = 0
+        self.running = False
+        self._send_timer: Optional[EventHandle] = None
+        self._no_feedback_timer: Optional[EventHandle] = None
+
+    @property
+    def current_rate_bps(self) -> float:
+        """Current sending rate in bits per second."""
+        return self.current_rate * 8.0
+
+    def start(self, at: float = 0.0) -> None:
+        """Start the flow at simulation time ``at``."""
+        self.sim.schedule_at(max(at, self.sim.now), self._begin)
+
+    def stop(self, at: Optional[float] = None) -> None:
+        """Stop the flow."""
+        if at is None or at <= self.sim.now:
+            self._halt()
+        else:
+            self.sim.schedule_at(at, self._halt)
+
+    def _begin(self) -> None:
+        self.running = True
+        self._arm_no_feedback_timer()
+        self._send_next()
+
+    def _halt(self) -> None:
+        self.running = False
+        for timer in (self._send_timer, self._no_feedback_timer):
+            if timer is not None:
+                timer.cancel()
+        self._send_timer = None
+        self._no_feedback_timer = None
+
+    def _send_next(self) -> None:
+        if not self.running:
+            return
+        header = TFRCDataHeader(
+            seq=self.seq,
+            timestamp=self.sim.now,
+            rtt_estimate=self.rtt if self.rtt is not None else self.config.initial_rtt,
+            send_rate=self.current_rate,
+        )
+        self.send(
+            Packet(
+                src=self.node_id,
+                dst=self.dst,
+                flow_id=self.flow_id,
+                size=self.config.packet_size,
+                ptype=PacketType.DATA,
+                seq=self.seq,
+                payload=header,
+            )
+        )
+        if self.monitor is not None:
+            self.monitor.record(f"{self.flow_id}-sent", self.config.packet_size)
+        self.seq += 1
+        self.packets_sent += 1
+        interval = self.config.packet_size / max(self.current_rate, self.min_rate)
+        self._send_timer = self.sim.schedule(interval, self._send_next)
+
+    def receive(self, packet: Packet) -> None:
+        if packet.ptype is not PacketType.FEEDBACK or not self.running:
+            return
+        report = packet.payload
+        if not isinstance(report, TFRCFeedbackHeader):
+            return
+        self.feedback_received += 1
+        now = self.sim.now
+        sample = max(now - report.echo_timestamp - report.echo_delay, 1e-6)
+        if self.rtt is None:
+            self.rtt = sample
+        else:
+            self.rtt = 0.9 * self.rtt + 0.1 * sample
+        # Early reports may predate a usable receive-rate measurement; fall
+        # back to the current sending rate so the cap does not drag the rate
+        # down artificially.
+        receive_rate = report.receive_rate if report.receive_rate > 0 else self.current_rate
+        receive_rate = max(receive_rate, self.min_rate)
+        if report.has_loss:
+            self.in_slowstart = False
+            calculated = padhye_throughput(
+                self.config.packet_size, self.rtt, report.loss_event_rate
+            )
+            self.current_rate = max(self.min_rate, min(calculated, 2.0 * receive_rate))
+        else:
+            # Slowstart: at most double once per RTT, bounded by 2 * X_recv.
+            self.current_rate = max(
+                self.min_rate, min(2.0 * receive_rate, 2.0 * self.current_rate)
+            )
+        self._arm_no_feedback_timer()
+
+    def _arm_no_feedback_timer(self) -> None:
+        if self._no_feedback_timer is not None:
+            self._no_feedback_timer.cancel()
+        # RFC 3448: the no-feedback timeout is max(4 * RTT, 2 * s / X) so a
+        # low sending rate (few packets, hence few reports) does not trigger
+        # spurious rate halvings.
+        rtt = self.rtt if self.rtt is not None else self.config.initial_rtt
+        packet_interval = self.config.packet_size / max(self.current_rate, self.min_rate)
+        timeout = max(4.0 * rtt, 2.0 * packet_interval)
+        self._no_feedback_timer = self.sim.schedule(timeout, self._on_no_feedback)
+
+    def _on_no_feedback(self) -> None:
+        if not self.running:
+            return
+        # Halve the rate when no feedback arrives (TFRC no-feedback timer).
+        self.current_rate = max(self.min_rate, self.current_rate / 2.0)
+        self._arm_no_feedback_timer()

@@ -1,0 +1,201 @@
+"""Tests for the analytical models (feedback, scaling, TCP-model curves)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.feedback_model import (
+    biased_feedback_cdf,
+    expected_feedback_messages,
+    expected_messages_grid,
+    expected_response_time,
+    feedback_cdf,
+)
+from repro.analysis.feedback_rounds import FeedbackRoundSimulator, timer_cdf_points
+from repro.analysis.scaling import (
+    expected_minimum_rate_constant_loss,
+    expected_minimum_rate_heterogeneous,
+    gamma_minimum_expectation,
+    realistic_loss_distribution,
+    throughput_scaling_curve,
+)
+from repro.analysis.tcp_model import loss_events_per_rtt_curve, peak_loss_events_per_rtt
+from repro.core.feedback import BiasMethod
+
+
+class TestFeedbackCDF:
+    def test_boundaries(self):
+        assert feedback_cdf(-1.0, 4.0, 10000) == 0.0
+        assert feedback_cdf(4.0, 4.0, 10000) == 1.0
+        assert feedback_cdf(0.0, 4.0, 10000) == pytest.approx(1e-4)
+
+    def test_monotone_increasing(self):
+        values = [feedback_cdf(t, 4.0, 10000) for t in (0.0, 1.0, 2.0, 3.0, 3.9)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_biased_cdf_shifted_right_for_high_ratio(self):
+        plain = biased_feedback_cdf(1.0, 4.0, 10000, rate_ratio=0.0)
+        shifted = biased_feedback_cdf(1.0, 4.0, 10000, rate_ratio=1.0)
+        assert shifted <= plain
+
+
+class TestExpectedMessages:
+    def test_small_groups_all_respond(self):
+        assert expected_feedback_messages(1, 4.0) == pytest.approx(1.0)
+        assert expected_feedback_messages(5, 4.0) <= 5.0
+
+    def test_suppression_keeps_count_low_for_large_groups(self):
+        # Paper Figure 4: T' of 3-4 RTTs gives a handful to a few tens of
+        # responses even for thousands of receivers.
+        value = expected_feedback_messages(10000, 4.0, receiver_estimate=10000)
+        assert value < 60
+
+    def test_longer_delay_means_fewer_messages(self):
+        short = expected_feedback_messages(1000, 2.0)
+        long = expected_feedback_messages(1000, 6.0)
+        assert long < short
+
+    def test_underestimating_receivers_risks_implosion(self):
+        # n far above N causes the response count to scale with n/N.
+        value = expected_feedback_messages(100000, 4.0, receiver_estimate=10000)
+        assert value > 50
+
+    def test_grid_helper(self):
+        grid = expected_messages_grid([10, 100], [3.0, 4.0])
+        assert len(grid) == 4
+        assert all(len(entry) == 3 for entry in grid)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            expected_feedback_messages(0, 4.0)
+        with pytest.raises(ValueError):
+            expected_feedback_messages(10, 0.0)
+
+
+class TestResponseTimeModel:
+    def test_response_time_decreases_with_group_size(self):
+        small = expected_response_time(5, samples=500)
+        large = expected_response_time(2000, samples=500)
+        assert large < small
+
+
+class TestFeedbackRounds:
+    def test_single_receiver_always_responds(self):
+        sim = FeedbackRoundSimulator(seed=1)
+        result = sim.run_round([0.4])
+        assert result.responses == 1
+        assert result.best_reported_value == pytest.approx(0.4)
+
+    def test_worst_case_response_count_stays_bounded(self):
+        sim = FeedbackRoundSimulator(seed=2, cancellation_delta=0.1)
+        responses = sim.average_responses(2000, rounds=3)
+        assert responses < 100
+
+    def test_delta_zero_gives_more_responses_than_delta_one(self):
+        zero = FeedbackRoundSimulator(seed=3, cancellation_delta=0.0)
+        one = FeedbackRoundSimulator(seed=3, cancellation_delta=1.0)
+        assert zero.average_responses(2000, rounds=3) > one.average_responses(2000, rounds=3)
+
+    def test_bias_improves_report_quality(self):
+        unbiased = FeedbackRoundSimulator(
+            seed=4, bias_method=BiasMethod.NONE, cancellation_delta=1.0
+        )
+        biased = FeedbackRoundSimulator(
+            seed=4, bias_method=BiasMethod.OFFSET, cancellation_delta=1.0
+        )
+        assert biased.average_report_quality(500, rounds=15) < unbiased.average_report_quality(
+            500, rounds=15
+        )
+
+    def test_lowest_receiver_always_reports_with_delta_zero(self):
+        sim = FeedbackRoundSimulator(seed=5, cancellation_delta=0.0)
+        result = sim.run_round([0.9, 0.5, 0.1, 0.7])
+        assert result.best_reported_value == pytest.approx(0.1)
+
+    def test_empty_round_rejected(self):
+        sim = FeedbackRoundSimulator(seed=6)
+        with pytest.raises(ValueError):
+            sim.run_round([])
+
+    def test_timer_cdf_points_monotone(self):
+        points = timer_cdf_points(BiasMethod.NONE, samples=2000, grid=20)
+        probabilities = [p for _t, p in points]
+        assert all(a <= b for a, b in zip(probabilities, probabilities[1:]))
+        assert probabilities[-1] == pytest.approx(1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(values=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=60))
+    def test_round_invariants(self, values):
+        sim = FeedbackRoundSimulator(seed=7)
+        result = sim.run_round(values)
+        assert 1 <= result.responses <= len(values)
+        assert result.responses + result.suppressed == len(values)
+        assert result.best_reported_value >= result.true_minimum_value - 1e-12
+
+
+class TestScaling:
+    def test_single_receiver_matches_fair_rate(self):
+        rate = expected_minimum_rate_constant_loss(1, loss_rate=0.1, rtt=0.05, samples=400)
+        assert 250e3 < rate * 8 < 350e3
+
+    def test_throughput_decreases_with_receiver_count(self):
+        few = expected_minimum_rate_constant_loss(1, samples=300)
+        many = expected_minimum_rate_constant_loss(500, samples=300)
+        assert many < few
+
+    def test_realistic_distribution_degrades_less(self):
+        curve = throughput_scaling_curve([1, 200], samples=200)
+        constant_drop = curve[0][1] / max(curve[1][1], 1e-9)
+        realistic_drop = curve[0][2] / max(curve[1][2], 1e-9)
+        assert realistic_drop < constant_drop
+
+    def test_longer_history_alleviates_degradation(self):
+        from repro.core.config import loss_interval_weights
+
+        short = expected_minimum_rate_constant_loss(
+            200, weights=loss_interval_weights(8), samples=300
+        )
+        long = expected_minimum_rate_constant_loss(
+            200, weights=loss_interval_weights(32), samples=300
+        )
+        assert long > short
+
+    def test_realistic_loss_distribution_shape(self):
+        import random
+
+        rates = realistic_loss_distribution(1000, random.Random(1))
+        assert len(rates) == 1000
+        assert all(0.004 < r <= 0.10 for r in rates)
+        high = sum(1 for r in rates if r >= 0.05)
+        low = sum(1 for r in rates if r < 0.02)
+        assert high < low  # only a few receivers in the high-loss range
+
+    def test_gamma_minimum_expectation_decreases(self):
+        one = gamma_minimum_expectation(1, shape=7.0, scale=1.4)
+        many = gamma_minimum_expectation(1000, shape=7.0, scale=1.4)
+        assert many < one
+        assert one == pytest.approx(7.0 * 1.4, rel=0.05)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            expected_minimum_rate_constant_loss(0)
+        with pytest.raises(ValueError):
+            expected_minimum_rate_constant_loss(10, loss_rate=0.0)
+        with pytest.raises(ValueError):
+            gamma_minimum_expectation(0, shape=1.0)
+
+
+class TestTCPModelCurve:
+    def test_curve_peak_is_small(self):
+        _curve, (p_peak, value_peak) = (
+            loss_events_per_rtt_curve(),
+            peak_loss_events_per_rtt(),
+        )
+        assert value_peak < 0.35
+        assert 0.01 < p_peak < 0.5
+
+    def test_curve_is_positive_and_covers_range(self):
+        curve = loss_events_per_rtt_curve()
+        assert curve[0][0] == pytest.approx(1e-4)
+        assert curve[-1][0] == pytest.approx(1.0)
+        assert all(v >= 0 for _p, v in curve)

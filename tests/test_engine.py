@@ -1,0 +1,134 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulator.engine import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator(seed=1)
+    order = []
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_run_in_scheduling_order():
+    sim = Simulator(seed=1)
+    order = []
+    sim.schedule(1.0, lambda: order.append(1))
+    sim.schedule(1.0, lambda: order.append(2))
+    sim.schedule(1.0, lambda: order.append(3))
+    sim.run()
+    assert order == [1, 2, 3]
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator(seed=1)
+    seen = []
+    sim.schedule(5.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.0]
+    assert sim.now == 5.0
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator(seed=1)
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(2))
+    end = sim.run(until=5.0)
+    assert fired == [1]
+    assert end == 5.0
+    # The later event still fires if the run continues.
+    sim.run(until=20.0)
+    assert fired == [1, 2]
+
+
+def test_event_cancellation():
+    sim = Simulator(seed=1)
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+    assert handle.cancelled
+    assert not handle.pending
+
+
+def test_schedule_with_args():
+    sim = Simulator(seed=1)
+    got = []
+    sim.schedule(1.0, lambda a, b: got.append((a, b)), 1, "x")
+    sim.run()
+    assert got == [(1, "x")]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator(seed=1)
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator(seed=1)
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator(seed=1)
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(1.0, lambda: fired.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == ["first", "second"]
+
+
+def test_stop_halts_the_loop():
+    sim = Simulator(seed=1)
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired[0] == 1
+    assert 2 not in fired
+
+
+def test_max_events_limit():
+    sim = Simulator(seed=1)
+    for i in range(10):
+        sim.schedule(i + 1.0, lambda: None)
+    sim.run(max_events=3)
+    assert sim.events_processed == 3
+
+
+def test_peek_skips_cancelled_events():
+    sim = Simulator(seed=1)
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    h1.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_rng_reproducibility():
+    values_a = Simulator(seed=42).rng.random()
+    values_b = Simulator(seed=42).rng.random()
+    assert values_a == values_b
+
+
+def test_handle_reports_fired():
+    sim = Simulator(seed=1)
+    handle = sim.schedule(1.0, lambda: None)
+    assert handle.pending
+    sim.run()
+    assert handle.fired
+    assert not handle.pending

@@ -1,0 +1,128 @@
+"""Tests for the TCP throughput models and their inverses."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.equations import (
+    loss_events_per_rtt,
+    mathis_loss_rate,
+    mathis_throughput,
+    padhye_loss_rate,
+    padhye_throughput,
+    throughput_in_bps,
+)
+
+
+def test_padhye_known_value():
+    # 1000-byte packets, 50 ms RTT, 10 % loss: the paper's Figure 7 scenario,
+    # fair rate around 300 kbit/s.
+    rate = padhye_throughput(1000, 0.05, 0.1)
+    assert 250e3 < rate * 8 < 350e3
+
+
+def test_padhye_low_loss_is_higher_than_high_loss():
+    low = padhye_throughput(1000, 0.1, 0.001)
+    high = padhye_throughput(1000, 0.1, 0.1)
+    assert low > high
+
+
+def test_padhye_monotone_decreasing_in_loss():
+    rates = [padhye_throughput(1000, 0.1, p) for p in (1e-4, 1e-3, 1e-2, 1e-1, 0.5)]
+    assert all(a > b for a, b in zip(rates, rates[1:]))
+
+
+def test_padhye_inversely_proportional_to_rtt():
+    # With the timeout term scaled as 4*RTT the model is exactly ~ 1/RTT.
+    assert padhye_throughput(1000, 0.05, 0.01) == pytest.approx(
+        2.0 * padhye_throughput(1000, 0.1, 0.01), rel=1e-6
+    )
+
+
+def test_mathis_closed_form():
+    rate = mathis_throughput(1000, 0.1, 0.01)
+    expected = 1000 * math.sqrt(1.5) / (0.1 * 0.1)
+    assert rate == pytest.approx(expected)
+
+
+def test_mathis_inverse_roundtrip():
+    p = mathis_loss_rate(1000, 0.1, mathis_throughput(1000, 0.1, 0.02))
+    assert p == pytest.approx(0.02, rel=1e-6)
+
+
+def test_padhye_inverse_roundtrip():
+    for p in (1e-4, 1e-3, 0.01, 0.05, 0.2):
+        rate = padhye_throughput(1000, 0.08, p)
+        assert padhye_loss_rate(1000, 0.08, rate) == pytest.approx(p, rel=1e-3)
+
+
+def test_padhye_inverse_clamps_extremes():
+    assert padhye_loss_rate(1000, 0.05, 1e12) == pytest.approx(1e-8)
+    assert padhye_loss_rate(1000, 0.05, 1e-6) == pytest.approx(1.0)
+
+
+def test_loss_rate_clamping():
+    # Zero / negative loss rates are clamped rather than dividing by zero.
+    assert padhye_throughput(1000, 0.05, 0.0) > 0
+    assert mathis_throughput(1000, 0.05, 0.0) > 0
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        padhye_throughput(0, 0.05, 0.01)
+    with pytest.raises(ValueError):
+        padhye_throughput(1000, 0.0, 0.01)
+    with pytest.raises(ValueError):
+        mathis_loss_rate(1000, 0.05, 0.0)
+    with pytest.raises(ValueError):
+        padhye_loss_rate(1000, 0.05, -1.0)
+
+
+def test_loss_events_per_rtt_peak_is_bounded():
+    # Appendix A: the curve peaks around 0.13-0.19 loss events per RTT;
+    # the key property is that it is well below one.
+    values = [loss_events_per_rtt(p) for p in (1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.3, 0.8)]
+    assert max(values) < 0.35
+    assert loss_events_per_rtt(0.0) == 0.0
+
+
+def test_throughput_unit_conversion():
+    assert throughput_in_bps(1000.0) == 8000.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    p=st.floats(min_value=1e-6, max_value=0.9),
+    rtt=st.floats(min_value=0.001, max_value=2.0),
+    size=st.integers(min_value=40, max_value=9000),
+)
+def test_padhye_always_positive_and_bounded(p, rtt, size):
+    rate = padhye_throughput(size, rtt, p)
+    assert rate > 0
+    # Never faster than one window of 1/sqrt(p) packets per RTT (loose bound).
+    assert rate <= size * (1.5 / math.sqrt(p)) / rtt + size
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    p=st.floats(min_value=1e-6, max_value=0.9),
+    rtt=st.floats(min_value=0.001, max_value=2.0),
+)
+def test_mathis_upper_bounds_padhye(p, rtt):
+    # The simplified model ignores timeouts, so it is always at least as
+    # optimistic as the full model.
+    assert mathis_throughput(1000, rtt, p) >= padhye_throughput(1000, rtt, p)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rate=st.floats(min_value=1e3, max_value=1e7),
+    rtt=st.floats(min_value=0.005, max_value=1.0),
+)
+def test_padhye_inverse_is_consistent(rate, rtt):
+    p = padhye_loss_rate(1000, rtt, rate)
+    assert 1e-8 <= p <= 1.0
+    if 1e-8 < p < 1.0:
+        assert padhye_throughput(1000, rtt, p) == pytest.approx(rate, rel=1e-2)

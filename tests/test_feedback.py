@@ -1,0 +1,160 @@
+"""Tests for the biased feedback timers and cancellation rules."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.feedback import (
+    BiasMethod,
+    FeedbackTimerPolicy,
+    biased_timer_value,
+    exponential_timer_value,
+    should_cancel,
+    slowstart_bias_ratio,
+    truncate_rate_ratio,
+)
+
+
+class TestExponentialTimer:
+    def test_u_equal_one_gives_max_delay(self):
+        assert exponential_timer_value(1.0, 4.0, 10000) == pytest.approx(4.0)
+
+    def test_small_u_clamps_to_zero(self):
+        assert exponential_timer_value(1e-7, 4.0, 10000) == 0.0
+
+    def test_median_receiver_fires_late(self):
+        # With N = 10000, u = 0.5 gives T * (1 - log(2)/log(10000)) ~ 0.92 T:
+        # the vast majority of receivers fire close to the maximum delay.
+        value = exponential_timer_value(0.5, 4.0, 10000)
+        assert value > 3.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exponential_timer_value(0.0, 4.0, 100)
+        with pytest.raises(ValueError):
+            exponential_timer_value(0.5, 0.0, 100)
+
+
+class TestTruncation:
+    def test_maps_range_to_unit_interval(self):
+        assert truncate_rate_ratio(0.95) == 1.0
+        assert truncate_rate_ratio(0.9) == 1.0
+        assert truncate_rate_ratio(0.5) == 0.0
+        assert truncate_rate_ratio(0.3) == 0.0
+        assert truncate_rate_ratio(0.7) == pytest.approx(0.5)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            truncate_rate_ratio(0.7, high=0.5, low=0.9)
+
+
+class TestBiasedTimer:
+    def test_none_matches_plain_exponential(self):
+        for u in (0.1, 0.5, 0.9):
+            assert biased_timer_value(u, 4.0, 10000, 0.5, BiasMethod.NONE) == pytest.approx(
+                exponential_timer_value(u, 4.0, 10000)
+            )
+
+    def test_offset_shifts_low_rate_receivers_earlier(self):
+        u = 0.9
+        low = biased_timer_value(u, 4.0, 10000, 0.0, BiasMethod.OFFSET, offset_fraction=0.25)
+        high = biased_timer_value(u, 4.0, 10000, 1.0, BiasMethod.OFFSET, offset_fraction=0.25)
+        assert low < high
+        assert high - low == pytest.approx(0.25 * 4.0)
+
+    def test_offset_never_exceeds_max_delay(self):
+        for ratio in (0.0, 0.5, 1.0):
+            value = biased_timer_value(1.0, 4.0, 10000, ratio, BiasMethod.OFFSET)
+            assert value <= 4.0 + 1e-9
+
+    def test_modified_offset_ignores_small_differences_near_sending_rate(self):
+        # Ratios of 0.9 and 1.0 both map to "no bias".
+        u = 0.7
+        a = biased_timer_value(u, 4.0, 10000, 0.92, BiasMethod.MODIFIED_OFFSET)
+        b = biased_timer_value(u, 4.0, 10000, 1.0, BiasMethod.MODIFIED_OFFSET)
+        assert a == pytest.approx(b)
+
+    def test_modified_offset_saturates_below_half(self):
+        u = 0.7
+        a = biased_timer_value(u, 4.0, 10000, 0.5, BiasMethod.MODIFIED_OFFSET)
+        b = biased_timer_value(u, 4.0, 10000, 0.1, BiasMethod.MODIFIED_OFFSET)
+        assert a == pytest.approx(b)
+
+    def test_modified_n_reduces_effective_receiver_estimate(self):
+        # Lower ratio -> smaller N -> earlier timers on average.
+        rng = random.Random(3)
+        lows, highs = [], []
+        for _ in range(500):
+            u = 1.0 - rng.random()
+            lows.append(biased_timer_value(u, 4.0, 10000, 0.05, BiasMethod.MODIFIED_N))
+            highs.append(biased_timer_value(u, 4.0, 10000, 1.0, BiasMethod.MODIFIED_N))
+        assert sum(lows) / len(lows) < sum(highs) / len(highs)
+
+    def test_invalid_offset_fraction(self):
+        with pytest.raises(ValueError):
+            biased_timer_value(0.5, 4.0, 100, 0.5, BiasMethod.OFFSET, offset_fraction=1.5)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        u=st.floats(min_value=1e-9, max_value=1.0, exclude_min=False),
+        ratio=st.floats(min_value=0.0, max_value=1.0),
+        method=st.sampled_from(list(BiasMethod)),
+    )
+    def test_timer_always_within_bounds(self, u, ratio, method):
+        value = biased_timer_value(u, 4.0, 10000, ratio, method)
+        assert 0.0 <= value <= 4.0 + 1e-9
+
+
+class TestCancellation:
+    def test_delta_zero_cancels_only_lower_or_equal(self):
+        assert should_cancel(calculated_rate=100.0, echoed_rate=90.0, delta=0.0)
+        assert should_cancel(100.0, 100.0, 0.0)
+        assert not should_cancel(90.0, 100.0, 0.0)
+
+    def test_delta_one_cancels_everything(self):
+        assert should_cancel(1.0, 1e9, 1.0)
+        assert should_cancel(1e9, 1.0, 1.0)
+
+    def test_delta_ten_percent(self):
+        # Receiver within 10 % below the echoed rate is suppressed ...
+        assert should_cancel(91.0, 100.0, 0.1)
+        # ... a receiver more than 10 % below is not.
+        assert not should_cancel(89.0, 100.0, 0.1)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            should_cancel(1.0, 1.0, 1.5)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        calc=st.floats(min_value=0.0, max_value=1e6),
+        echo=st.floats(min_value=0.0, max_value=1e6),
+    )
+    def test_monotone_in_delta(self, calc, echo):
+        # If a report is cancelled at some delta it must also be cancelled at
+        # any larger delta.
+        if should_cancel(calc, echo, 0.1):
+            assert should_cancel(calc, echo, 0.5)
+            assert should_cancel(calc, echo, 1.0)
+
+
+class TestPolicyAndSlowstart:
+    def test_policy_draw_within_bounds(self):
+        policy = FeedbackTimerPolicy(random.Random(1), receiver_estimate=1000)
+        for _ in range(200):
+            decision = policy.draw(2.0, 0.5)
+            assert 0.0 <= decision.delay <= 2.0 + 1e-9
+
+    def test_policy_cancel_delegates_to_rule(self):
+        policy = FeedbackTimerPolicy(random.Random(1), 1000, cancellation_delta=0.0)
+        # With delta = 0 the timer is cancelled only when the echoed rate is
+        # at or below the receiver's own calculated rate.
+        assert policy.cancels(60.0, 50.0)
+        assert not policy.cancels(50.0, 60.0)
+
+    def test_slowstart_ratio(self):
+        assert slowstart_bias_ratio(50.0, 100.0) == pytest.approx(0.5)
+        assert slowstart_bias_ratio(200.0, 100.0) == 1.0
+        assert slowstart_bias_ratio(10.0, 0.0) == 1.0

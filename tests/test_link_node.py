@@ -1,0 +1,176 @@
+"""Tests for links, nodes and forwarding."""
+
+import pytest
+
+from repro.simulator.engine import Simulator
+from repro.simulator.link import Link
+from repro.simulator.node import Agent, Node
+from repro.simulator.packet import Packet, PacketType
+from repro.simulator.queues import DropTailQueue
+from repro.simulator.topology import Network
+
+
+class RecordingAgent(Agent):
+    """Agent that records every packet (and its arrival time) it receives."""
+
+    def __init__(self, sim, flow_id):
+        super().__init__(sim, flow_id)
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append((self.sim.now, packet))
+
+
+def two_node_network(sim, bandwidth=1e6, delay=0.01, queue_limit=10, loss=0.0, jitter=0.0):
+    net = Network(sim)
+    net.add_duplex_link("a", "b", bandwidth, delay, queue_limit, loss, jitter=jitter)
+    net.build_routes()
+    return net
+
+
+def test_transmission_and_propagation_delay():
+    sim = Simulator(seed=1)
+    net = two_node_network(sim, bandwidth=1e6, delay=0.05)
+    receiver = RecordingAgent(sim, "flow")
+    net.attach("b", receiver)
+    sender = RecordingAgent(sim, "flow")
+    net.attach("a", sender)
+    packet = Packet(src="a", dst="b", flow_id="flow", size=1000)
+    sim.schedule(0.0, sender.send, packet)
+    sim.run()
+    assert len(receiver.received) == 1
+    arrival, _ = receiver.received[0]
+    # 1000 bytes at 1 Mbit/s = 8 ms serialisation + 50 ms propagation.
+    assert arrival == pytest.approx(0.058, abs=1e-9)
+
+
+def test_back_to_back_packets_are_serialised():
+    sim = Simulator(seed=1)
+    net = two_node_network(sim, bandwidth=1e6, delay=0.0)
+    receiver = RecordingAgent(sim, "flow")
+    net.attach("b", receiver)
+    sender = RecordingAgent(sim, "flow")
+    net.attach("a", sender)
+    for i in range(3):
+        sim.schedule(0.0, sender.send, Packet(src="a", dst="b", flow_id="flow", size=1000, seq=i))
+    sim.run()
+    times = [t for t, _ in receiver.received]
+    assert times == pytest.approx([0.008, 0.016, 0.024])
+
+
+def test_queue_overflow_drops_packets():
+    sim = Simulator(seed=1)
+    net = two_node_network(sim, bandwidth=1e5, delay=0.0, queue_limit=2)
+    receiver = RecordingAgent(sim, "flow")
+    net.attach("b", receiver)
+    sender = RecordingAgent(sim, "flow")
+    net.attach("a", sender)
+    for i in range(10):
+        sim.schedule(0.0, sender.send, Packet(src="a", dst="b", flow_id="flow", size=1000, seq=i))
+    sim.run()
+    link = net.link_between("a", "b")
+    # One in transmission + 2 queued; the other 7 are dropped.
+    assert len(receiver.received) == 3
+    assert link.queue_drops == 7
+
+
+def test_random_loss_drops_roughly_expected_fraction():
+    sim = Simulator(seed=7)
+    net = two_node_network(sim, bandwidth=100e6, delay=0.0, queue_limit=10000, loss=0.3)
+    receiver = RecordingAgent(sim, "flow")
+    net.attach("b", receiver)
+    sender = RecordingAgent(sim, "flow")
+    net.attach("a", sender)
+    total = 2000
+    for i in range(total):
+        sim.schedule(i * 1e-4, sender.send, Packet(src="a", dst="b", flow_id="flow", size=100, seq=i))
+    sim.run()
+    fraction_lost = 1.0 - len(receiver.received) / total
+    assert 0.25 < fraction_lost < 0.35
+
+
+def test_jitter_preserves_fifo_order():
+    sim = Simulator(seed=3)
+    net = two_node_network(sim, bandwidth=1e6, delay=0.01, jitter=0.01)
+    receiver = RecordingAgent(sim, "flow")
+    net.attach("b", receiver)
+    sender = RecordingAgent(sim, "flow")
+    net.attach("a", sender)
+    for i in range(50):
+        sim.schedule(i * 0.001, sender.send, Packet(src="a", dst="b", flow_id="flow", size=500, seq=i))
+    sim.run()
+    seqs = [p.seq for _t, p in receiver.received]
+    assert seqs == sorted(seqs)
+
+
+def test_multi_hop_forwarding():
+    sim = Simulator(seed=1)
+    net = Network(sim)
+    net.add_duplex_link("a", "m", 1e6, 0.01)
+    net.add_duplex_link("m", "b", 1e6, 0.01)
+    net.build_routes()
+    receiver = RecordingAgent(sim, "flow")
+    net.attach("b", receiver)
+    sender = RecordingAgent(sim, "flow")
+    net.attach("a", sender)
+    sim.schedule(0.0, sender.send, Packet(src="a", dst="b", flow_id="flow", size=1000))
+    sim.run()
+    assert len(receiver.received) == 1
+    assert net.node("m").packets_forwarded == 1
+
+
+def test_unroutable_packet_is_counted_not_crashing():
+    sim = Simulator(seed=1)
+    net = two_node_network(sim)
+    sender = RecordingAgent(sim, "flow")
+    net.attach("a", sender)
+    sim.schedule(0.0, sender.send, Packet(src="a", dst="nowhere", flow_id="flow", size=100))
+    sim.run()
+    assert net.node("a").packets_unroutable == 1
+
+
+def test_packet_to_unknown_flow_discarded():
+    sim = Simulator(seed=1)
+    net = two_node_network(sim)
+    sender = RecordingAgent(sim, "flow")
+    net.attach("a", sender)
+    sim.schedule(0.0, sender.send, Packet(src="a", dst="b", flow_id="other-flow", size=100))
+    sim.run()  # no agent for "other-flow" at b: silently dropped
+
+
+def test_duplicate_flow_attachment_rejected():
+    sim = Simulator(seed=1)
+    node = Node(sim, "x")
+    node.attach_agent(RecordingAgent(sim, "f"))
+    with pytest.raises(ValueError):
+        node.attach_agent(RecordingAgent(sim, "f"))
+
+
+def test_link_statistics():
+    sim = Simulator(seed=1)
+    net = two_node_network(sim, bandwidth=1e6, delay=0.0)
+    receiver = RecordingAgent(sim, "flow")
+    net.attach("b", receiver)
+    sender = RecordingAgent(sim, "flow")
+    net.attach("a", sender)
+    for i in range(4):
+        sim.schedule(0.0, sender.send, Packet(src="a", dst="b", flow_id="flow", size=1000, seq=i))
+    sim.run()
+    link = net.link_between("a", "b")
+    assert link.packets_sent == 4
+    assert link.bytes_sent == 4000
+    assert link.bytes_per_flow["flow"] == 4000
+    assert link.utilisation(0.032) == pytest.approx(1.0, rel=0.01)
+
+
+def test_link_parameter_validation():
+    sim = Simulator(seed=1)
+    a, b = Node(sim, "a"), Node(sim, "b")
+    with pytest.raises(ValueError):
+        Link(sim, a, b, bandwidth=0, delay=0.01)
+    with pytest.raises(ValueError):
+        Link(sim, a, b, bandwidth=1e6, delay=-1)
+    with pytest.raises(ValueError):
+        Link(sim, a, b, bandwidth=1e6, delay=0.01, loss_rate=1.5)
+    with pytest.raises(ValueError):
+        Link(sim, a, b, bandwidth=1e6, delay=0.01, jitter=-0.1)

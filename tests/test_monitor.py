@@ -1,0 +1,75 @@
+"""Tests for throughput monitoring and statistics."""
+
+import pytest
+
+from repro.simulator.engine import Simulator
+from repro.simulator.monitor import FlowStats, ThroughputMonitor, fairness_index
+
+
+def test_series_bins_bytes_into_intervals():
+    sim = Simulator(seed=1)
+    monitor = ThroughputMonitor(sim, interval=1.0)
+    monitor.record("f", 1000, when=0.5)
+    monitor.record("f", 1000, when=0.9)
+    monitor.record("f", 500, when=1.5)
+    sim.schedule(3.0, lambda: None)
+    sim.run()
+    series = monitor.series("f", 0.0, 3.0)
+    assert series[0] == (0.0, 16000.0)  # 2000 bytes in second 0
+    assert series[1] == (1.0, 4000.0)
+    assert series[2] == (2.0, 0.0)
+
+
+def test_average_throughput_over_window():
+    sim = Simulator(seed=1)
+    monitor = ThroughputMonitor(sim, interval=1.0)
+    for t in range(10):
+        monitor.record("f", 1250, when=t + 0.5)  # 10 kbit per second
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    assert monitor.average_throughput("f", 0.0, 10.0) == pytest.approx(10000.0)
+    assert monitor.average_throughput("f", 5.0, 10.0) == pytest.approx(10000.0)
+
+
+def test_total_bytes_and_flows():
+    sim = Simulator(seed=1)
+    monitor = ThroughputMonitor(sim, interval=0.5)
+    monitor.record("a", 100, when=0.1)
+    monitor.record("b", 200, when=0.2)
+    assert set(monitor.flows()) == {"a", "b"}
+    assert monitor.total_bytes("a") == 100
+    assert monitor.total_bytes("missing") == 0
+
+
+def test_invalid_interval():
+    sim = Simulator(seed=1)
+    with pytest.raises(ValueError):
+        ThroughputMonitor(sim, interval=0.0)
+
+
+def test_flow_stats_summary():
+    stats = FlowStats.from_series([1.0, 2.0, 3.0, 4.0])
+    assert stats.mean == pytest.approx(2.5)
+    assert stats.median == pytest.approx(2.5)
+    assert stats.minimum == 1.0 and stats.maximum == 4.0
+    assert stats.coefficient_of_variation > 0
+
+
+def test_flow_stats_empty():
+    stats = FlowStats.from_series([])
+    assert stats.mean == 0.0
+    assert stats.coefficient_of_variation == 0.0
+
+
+def test_fairness_index_equal_shares():
+    assert fairness_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+
+def test_fairness_index_unequal_shares():
+    value = fairness_index([10.0, 1.0, 1.0])
+    assert 0.0 < value < 1.0
+
+
+def test_fairness_index_degenerate():
+    assert fairness_index([]) == 0.0
+    assert fairness_index([0.0, 0.0]) == 0.0

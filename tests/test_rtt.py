@@ -1,0 +1,113 @@
+"""Tests for receiver- and sender-side RTT estimation."""
+
+import pytest
+
+from repro.core.rtt import ReceiverRTTEstimator, SenderRTTEstimator
+
+
+class TestReceiverRTT:
+    def test_initial_value_until_first_measurement(self):
+        est = ReceiverRTTEstimator(initial_rtt=0.5)
+        assert est.rtt == 0.5
+        assert not est.has_valid_measurement
+        assert est.wants_measurement
+
+    def test_first_echo_replaces_initial_value(self):
+        est = ReceiverRTTEstimator(initial_rtt=0.5)
+        # Feedback sent at t=10.0, echoed with 0.02 s hold, received at 10.1:
+        # RTT sample = 10.1 - 10.0 - 0.02 = 0.08.
+        sample = est.update_from_echo(now=10.1, echo_timestamp=10.0, echo_delay=0.02)
+        assert sample == pytest.approx(0.08)
+        assert est.rtt == pytest.approx(0.08)
+        assert est.has_valid_measurement
+
+    def test_ewma_uses_receiver_gain_for_non_clr(self):
+        est = ReceiverRTTEstimator(initial_rtt=0.5, receiver_gain=0.5)
+        est.update_from_echo(10.1, 10.0, 0.0)  # 0.1
+        est.update_from_echo(20.3, 20.0, 0.0)  # 0.3
+        assert est.rtt == pytest.approx(0.5 * 0.3 + 0.5 * 0.1)
+
+    def test_ewma_uses_clr_gain_for_clr(self):
+        est = ReceiverRTTEstimator(initial_rtt=0.5, clr_gain=0.05)
+        est.update_from_echo(10.1, 10.0, 0.0)
+        est.set_is_clr(True)
+        est.update_from_echo(20.3, 20.0, 0.0)
+        assert est.rtt == pytest.approx(0.05 * 0.3 + 0.95 * 0.1)
+
+    def test_one_way_adjustment_tracks_rtt_changes(self):
+        est = ReceiverRTTEstimator(initial_rtt=0.5, one_way_gain=1.0)
+        est.update_from_echo(10.1, 10.0, 0.0)  # RTT 0.1
+        # Data packet sent at 10.05 arrives now (10.1): forward delay 0.05.
+        est.record_one_way_reference(data_send_timestamp=10.05, now=10.1)
+        # Later the forward delay doubles to 0.1: adjusted RTT becomes 0.15.
+        adjusted = est.adjust_from_one_way_delay(data_send_timestamp=20.0, now=20.1)
+        assert adjusted == pytest.approx(0.15)
+        assert est.rtt == pytest.approx(0.15)
+
+    def test_one_way_adjustment_cancels_clock_skew(self):
+        # Receiver clock runs 100 s ahead of the sender; the echo-based RTT
+        # and the one-way adjustments must be unaffected.
+        est = ReceiverRTTEstimator(initial_rtt=0.5, one_way_gain=1.0, clock_offset=100.0)
+        est.update_from_echo(now=10.1, echo_timestamp=110.0, echo_delay=0.0)
+        assert est.rtt == pytest.approx(0.1)
+        est.record_one_way_reference(data_send_timestamp=10.05, now=10.1)
+        adjusted = est.adjust_from_one_way_delay(data_send_timestamp=20.0, now=20.1)
+        assert adjusted == pytest.approx(0.15)
+
+    def test_no_one_way_adjustment_before_first_measurement(self):
+        est = ReceiverRTTEstimator(initial_rtt=0.5)
+        assert est.adjust_from_one_way_delay(1.0, 1.05) is None
+
+    def test_large_one_way_change_requests_fresh_measurement(self):
+        est = ReceiverRTTEstimator(initial_rtt=0.5, one_way_gain=0.1)
+        est.update_from_echo(10.1, 10.0, 0.0)
+        est.record_one_way_reference(10.05, 10.1)
+        assert not est.wants_measurement
+        est.adjust_from_one_way_delay(20.0, 20.4)  # forward delay ballooned
+        assert est.wants_measurement
+
+    def test_initialise_from_synchronised_clocks(self):
+        est = ReceiverRTTEstimator(initial_rtt=0.5)
+        est.initialise_from_one_way_delay(0.04, sync_error=0.01)
+        assert est.rtt == pytest.approx(0.1)
+        assert not est.has_valid_measurement
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReceiverRTTEstimator(initial_rtt=0.0)
+        with pytest.raises(ValueError):
+            ReceiverRTTEstimator(clr_gain=0.0)
+        est = ReceiverRTTEstimator()
+        with pytest.raises(ValueError):
+            est.initialise_from_one_way_delay(-1.0)
+
+
+class TestSenderRTT:
+    def test_first_sample(self):
+        est = SenderRTTEstimator()
+        value = est.update("r1", now=5.2, data_timestamp=5.0, hold_time=0.1)
+        assert value == pytest.approx(0.1)
+        assert est.get("r1") == pytest.approx(0.1)
+
+    def test_ewma_smoothing(self):
+        est = SenderRTTEstimator(gain=0.5)
+        est.update("r1", 5.1, 5.0)
+        est.update("r1", 10.3, 10.0)
+        assert est.get("r1") == pytest.approx(0.5 * 0.3 + 0.5 * 0.1)
+
+    def test_per_receiver_isolation(self):
+        est = SenderRTTEstimator()
+        est.update("r1", 5.1, 5.0)
+        assert est.get("r2") is None
+
+    def test_adjust_reported_rate_scales_inversely_with_rtt(self):
+        est = SenderRTTEstimator()
+        # Receiver computed 100 kB/s with the 500 ms initial RTT; the real RTT
+        # is 50 ms, so the achievable rate is ten times higher.
+        assert est.adjust_reported_rate(100e3, 0.5, 0.05) == pytest.approx(1e6)
+        # Degenerate inputs leave the rate unchanged.
+        assert est.adjust_reported_rate(100e3, 0.0, 0.05) == pytest.approx(100e3)
+
+    def test_gain_validation(self):
+        with pytest.raises(ValueError):
+            SenderRTTEstimator(gain=1.5)
