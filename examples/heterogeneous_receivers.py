@@ -8,13 +8,16 @@ selects it as the current limiting receiver (CLR), adapts the rate to it,
 and recovers after it leaves -- the behaviour of the paper's Figures 11,
 15 and 16.
 
-Run with:  python examples/heterogeneous_receivers.py
+Run with:  python examples/heterogeneous_receivers.py [--time-scale 0.1]
 """
 
-from repro import LinkSpec, Network, Simulator, TFMCCSession, ThroughputMonitor
+import argparse
+
+from repro import Network, Simulator, TFMCCSession, ThroughputMonitor
 
 
-def main() -> None:
+def main(time_scale: float = 1.0) -> None:
+    ts = time_scale
     sim = Simulator(seed=23)
     network = Network(sim)
     # A well-connected office receiver, a DSL receiver and (later) a lossy
@@ -31,22 +34,22 @@ def main() -> None:
     session.add_receiver("dsl", receiver_id="dsl")
     session.start(0.0)
 
-    # The mobile receiver joins at t=60 s and leaves at t=150 s.
-    session.add_receiver_at(60.0, "mobile", receiver_id="mobile")
-    session.remove_receiver_at(150.0, "mobile")
+    # The mobile receiver joins at t=60 s and leaves at t=150 s (paper time).
+    session.add_receiver_at(60.0 * ts, "mobile", receiver_id="mobile")
+    session.remove_receiver_at(150.0 * ts, "mobile")
 
     clr_timeline = []
 
     def sample_clr() -> None:
         clr_timeline.append((sim.now, session.sender.clr_id))
-        sim.schedule(5.0, sample_clr)
+        sim.schedule(5.0 * ts, sample_clr)
 
-    sim.schedule(5.0, sample_clr)
-    duration = 220.0
+    sim.schedule(5.0 * ts, sample_clr)
+    duration = 220.0 * ts
     sim.run(until=duration)
 
     def window(name, start, end):
-        return monitor.average_throughput(name, start, end) / 1e3
+        return monitor.average_throughput(name, start * ts, end * ts) / 1e3
 
     print("Delivered rate at the office receiver (kbit/s):")
     print(f"  before the mobile joins  (20-60 s) : {window('office', 20, 60):8.1f}")
@@ -61,4 +64,11 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        help="multiply all simulated durations (use e.g. 0.1 for a quick look)",
+    )
+    main(parser.parse_args().time_scale)

@@ -5,13 +5,15 @@ Builds a dumbbell topology, attaches a TFMCC sender and three receivers,
 runs the simulation for a minute of simulated time and prints the sending
 rate, the per-receiver throughput, the measured loss event rates and RTTs.
 
-Run with:  python examples/quickstart.py
+Run with:  python examples/quickstart.py [--time-scale 0.1]
 """
+
+import argparse
 
 from repro import Network, Simulator, TFMCCConfig, TFMCCSession, ThroughputMonitor
 
 
-def main() -> None:
+def main(time_scale: float = 1.0) -> None:
     sim = Simulator(seed=7)
     # 2 Mbit/s bottleneck with 20 ms one-way delay, fast access links.
     network = Network.dumbbell(
@@ -29,17 +31,21 @@ def main() -> None:
     receivers = [session.add_receiver(f"dst{i}") for i in range(3)]
     session.start(at=0.0)
 
-    duration = 60.0
+    duration = 60.0 * time_scale
     sim.run(until=duration)
 
     print(f"Simulated {duration:.0f} s, {sim.events_processed} events")
     print(f"Final sending rate: {session.sender.current_rate_bps / 1e3:.1f} kbit/s")
     print(f"Current limiting receiver: {session.sender.clr_id}")
-    print(f"Slowstart ended at t = {session.sender.slowstart_exited_at:.2f} s")
+    exited = session.sender.slowstart_exited_at
+    print(
+        "Slowstart ended at t = "
+        + (f"{exited:.2f} s" if exited is not None else "n/a (still in slowstart)")
+    )
     print()
     print(f"{'receiver':>14} {'kbit/s':>9} {'loss rate':>10} {'RTT (ms)':>9}")
     for receiver in receivers:
-        throughput = monitor.average_throughput(receiver.receiver_id, 20.0, duration)
+        throughput = monitor.average_throughput(receiver.receiver_id, 20.0 * time_scale, duration)
         print(
             f"{receiver.receiver_id:>14} {throughput / 1e3:>9.1f} "
             f"{receiver.loss_event_rate:>10.4f} {receiver.rtt.rtt * 1e3:>9.1f}"
@@ -47,4 +53,11 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        help="multiply all simulated durations (use e.g. 0.1 for a quick look)",
+    )
+    main(parser.parse_args().time_scale)

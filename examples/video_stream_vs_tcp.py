@@ -10,8 +10,10 @@ also carries three greedy TCP downloads, and reports:
 * the smoothness (coefficient of variation of the per-second rate) of both,
 * Jain's fairness index across all flows.
 
-Run with:  python examples/video_stream_vs_tcp.py
+Run with:  python examples/video_stream_vs_tcp.py [--time-scale 0.1]
 """
+
+import argparse
 
 from repro import (
     Network,
@@ -23,7 +25,7 @@ from repro import (
 from repro.experiments.common import add_tcp_flow
 
 
-def main() -> None:
+def main(time_scale: float = 1.0) -> None:
     sim = Simulator(seed=11)
     num_tcp = 3
     network = Network.dumbbell(
@@ -42,9 +44,9 @@ def main() -> None:
     for i in range(1, num_tcp + 1):
         add_tcp_flow(sim, network, f"tcp{i}", f"src{i}", f"dst{i % 4}", monitor)
 
-    duration = 120.0
+    duration = 120.0 * time_scale
     sim.run(until=duration)
-    warmup = 30.0
+    warmup = 30.0 * time_scale
 
     stream_stats = monitor.stats(receivers[0].receiver_id, warmup, duration)
     print("Multicast video stream (TFMCC):")
@@ -66,4 +68,11 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        help="multiply all simulated durations (use e.g. 0.1 for a quick look)",
+    )
+    main(parser.parse_args().time_scale)

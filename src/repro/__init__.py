@@ -10,29 +10,43 @@ The package bundles:
 * analytical models of the feedback mechanism and throughput scaling
   (:mod:`repro.analysis`),
 * the experiment drivers that regenerate every figure of the paper
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`),
+* a declarative scenario subsystem with a named-scenario registry and a
+  parallel sweep runner (:mod:`repro.scenarios`), exposed on the command
+  line as ``python -m repro``.
 """
 
 from repro.core.config import TFMCCConfig
 from repro.core.feedback import BiasMethod
 from repro.core.receiver import TFMCCReceiver
 from repro.core.sender import TFMCCSender
+from repro.scenarios.build import build_scenario, run_scenario
+from repro.scenarios.registry import get_scenario, scenario_names
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.sweep import SweepRunner
 from repro.session import TFMCCSession
 from repro.simulator.engine import Simulator
+from repro.simulator.link import GilbertElliottLoss
 from repro.simulator.monitor import ThroughputMonitor, fairness_index
 from repro.simulator.multicast import MulticastGroup
+from repro.simulator.sources import CBRSource, OnOffSource, TrafficSink
 from repro.simulator.topology import LinkSpec, Network
 from repro.tcp.reno import TCPRenoSender
 from repro.tcp.sink import TCPSink
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BiasMethod",
+    "CBRSource",
+    "GilbertElliottLoss",
     "LinkSpec",
     "MulticastGroup",
     "Network",
+    "OnOffSource",
+    "ScenarioSpec",
     "Simulator",
+    "SweepRunner",
     "TCPRenoSender",
     "TCPSink",
     "TFMCCConfig",
@@ -40,6 +54,11 @@ __all__ = [
     "TFMCCSender",
     "TFMCCSession",
     "ThroughputMonitor",
+    "TrafficSink",
+    "build_scenario",
     "fairness_index",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
     "__version__",
 ]

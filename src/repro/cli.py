@@ -1,0 +1,230 @@
+"""Command-line interface: ``python -m repro {list,show,run,sweep}``.
+
+Examples
+--------
+List the scenario catalogue::
+
+    python -m repro list
+
+Inspect the concrete spec a scenario expands to::
+
+    python -m repro show bursty-loss --set burst_length=16
+
+Run one scenario and append its record to a JSONL file::
+
+    python -m repro run fairness --seed 3 --out results/fairness.jsonl
+
+Run a seeded sweep over a parameter grid on 4 worker processes::
+
+    python -m repro sweep fairness --jobs 4 --grid num_tcp=2,4,8 --reps 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.scenarios.registry import get_scenario, scenarios
+from repro.scenarios.build import run_scenario
+from repro.scenarios.store import ResultStore, encode_record
+from repro.scenarios.sweep import SweepRunner
+
+
+def _parse_value(text: str) -> Any:
+    """Parse a CLI parameter value: int, float, bool or bare string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_set(args: Sequence[str]) -> Dict[str, Any]:
+    """Parse repeated ``--set key=value`` options."""
+    params: Dict[str, Any] = {}
+    for item in args:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"error: --set expects key=value, got {item!r}")
+        params[key] = _parse_value(value)
+    return params
+
+
+def _parse_grid(args: Sequence[str]) -> Dict[str, List[Any]]:
+    """Parse repeated ``--grid key=v1,v2,...`` options."""
+    grid: Dict[str, List[Any]] = {}
+    for item in args:
+        key, sep, values = item.partition("=")
+        if not sep or not key or not values:
+            raise SystemExit(f"error: --grid expects key=v1,v2,..., got {item!r}")
+        grid[key] = [_parse_value(v) for v in values.split(",")]
+    return grid
+
+
+def _summarise(record: Dict[str, Any], out=None) -> None:
+    out = out if out is not None else sys.stdout
+    ratio = record.get("tfmcc_tcp_ratio")
+    print(f"scenario : {record['scenario']}  (seed {record['seed']})", file=out)
+    print(f"duration : {record['duration']:.1f} s simulated, {record['events']} events", file=out)
+    print(f"tfmcc    : {record['tfmcc_mean_bps'] / 1e3:10.1f} kbit/s (mean over receivers)", file=out)
+    if record.get("tcp_mean_bps"):
+        print(f"tcp      : {record['tcp_mean_bps'] / 1e3:10.1f} kbit/s (mean over flows)", file=out)
+    if ratio is not None:
+        print(f"ratio    : {ratio:10.2f}  (TFMCC / TCP)", file=out)
+    print(f"fairness : {record['fairness_index']:10.3f}  (Jain index)", file=out)
+    if "links" in record:
+        links = record["links"]
+        print(
+            f"loss     : {links['queue_drops']} queue drops, "
+            f"{links['random_drops']} random drops "
+            f"({links['packets_sent']} packets forwarded)",
+            file=out,
+        )
+    for flow in record["flows"]:
+        print(f"  {flow['kind']:>10}  {flow['id']:<24} {flow['avg_bps'] / 1e3:10.1f} kbit/s", file=out)
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    rows = []
+    for factory in scenarios():
+        params = ", ".join(f"{k}={v!r}" for k, v in factory.defaults.items())
+        rows.append((factory.name, factory.description, params))
+    width = max(len(name) for name, _, _ in rows)
+    for name, description, params in rows:
+        print(f"{name:<{width}}  {description}")
+        print(f"{'':<{width}}    parameters: {params}")
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    factory = get_scenario(args.scenario)
+    spec = factory.spec(**_parse_set(args.set))
+    print(spec.to_json(indent=2))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    factory = get_scenario(args.scenario)
+    params = _parse_set(args.set)
+    spec = factory.spec(**params)
+    started = time.perf_counter()
+    record = run_scenario(spec, seed=args.seed)
+    elapsed = time.perf_counter() - started
+    record["run"] = {"index": 0, "seed": args.seed, "params": params, "scenario": args.scenario}
+    if args.out:
+        ResultStore(args.out).append(record)
+        print(f"appended 1 record to {args.out}", file=sys.stderr)
+    if args.json:
+        print(encode_record(record))
+    else:
+        _summarise(record)
+        print(f"wall     : {elapsed:10.1f} s", file=sys.stderr)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    grid = _parse_grid(args.grid)
+    params = _parse_set(args.set)
+    runner = SweepRunner(
+        args.scenario,
+        grid=grid,
+        params=params,
+        replications=args.reps,
+        base_seed=args.seed,
+        jobs=args.jobs,
+    )
+    runs = runner.runs()
+    out = args.out or f"results/{args.scenario}-sweep.jsonl"
+    print(
+        f"sweep {args.scenario!r}: {len(runs)} runs "
+        f"({len(grid) or 'no'} grid axes x {args.reps} replications), "
+        f"jobs={args.jobs}, out={out}",
+        file=sys.stderr,
+    )
+    started = time.perf_counter()
+
+    def progress(done: int, total: int, record: Dict[str, Any]) -> None:
+        if not args.quiet:
+            elapsed = time.perf_counter() - started
+            print(
+                f"  [{done}/{total}] seed={record['run']['seed']} "
+                f"params={record['run']['params']} "
+                f"tfmcc={record['tfmcc_mean_bps'] / 1e3:.1f} kbit/s "
+                f"({elapsed:.1f}s)",
+                file=sys.stderr,
+            )
+
+    records = runner.execute(store=ResultStore(out), progress=progress)
+    elapsed = time.perf_counter() - started
+    print(
+        f"completed {len(records)} runs in {elapsed:.1f} s "
+        f"({elapsed / max(len(records), 1):.1f} s/run), results in {out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="TFMCC reproduction: declarative scenarios, runs and sweeps.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered scenarios")
+    p_list.set_defaults(func=cmd_list)
+
+    p_show = sub.add_parser("show", help="print the JSON spec of a scenario")
+    p_show.add_argument("scenario")
+    p_show.add_argument("--set", action="append", default=[], metavar="KEY=VALUE")
+    p_show.set_defaults(func=cmd_show)
+
+    p_run = sub.add_parser("run", help="run one scenario and print a summary")
+    p_run.add_argument("scenario")
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--set", action="append", default=[], metavar="KEY=VALUE")
+    p_run.add_argument("--out", help="append the result record to this JSONL file")
+    p_run.add_argument("--json", action="store_true", help="print the raw record as JSON")
+    p_run.set_defaults(func=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="run a seeded parameter sweep")
+    p_sweep.add_argument("scenario")
+    p_sweep.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    p_sweep.add_argument(
+        "--reps", type=int, default=8, help="seeded replications per grid point (default 8)"
+    )
+    p_sweep.add_argument("--seed", type=int, default=1, help="base seed (run i uses seed+i)")
+    p_sweep.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help="sweep axis; repeat for a cartesian product",
+    )
+    p_sweep.add_argument("--set", action="append", default=[], metavar="KEY=VALUE")
+    p_sweep.add_argument("--out", help="JSONL output path (default results/<scenario>-sweep.jsonl)")
+    p_sweep.add_argument("--quiet", action="store_true", help="suppress per-run progress")
+    p_sweep.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

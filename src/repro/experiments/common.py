@@ -11,6 +11,7 @@ parameters.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -37,6 +38,11 @@ class ExperimentScale:
         Multiplier on receiver counts in many-receiver experiments.
     warmup_fraction:
         Fraction of the run discarded before computing averages.
+    min_duration:
+        Floor applied by :meth:`duration`: runs shorter than this would not
+        leave the protocols enough time to converge, so scaled durations are
+        clamped up to it (with a warning).  Set it to ``0.0`` to disable the
+        floor entirely.
     """
 
     name: str
@@ -44,14 +50,30 @@ class ExperimentScale:
     time_factor: float = 1.0
     receiver_factor: float = 1.0
     warmup_fraction: float = 0.25
+    min_duration: float = 10.0
 
     def bandwidth(self, bits_per_second: float) -> float:
         """Scale a bandwidth given in the paper."""
         return bits_per_second * self.bandwidth_factor
 
     def duration(self, seconds: float) -> float:
-        """Scale a simulation duration given in the paper."""
-        return max(seconds * self.time_factor, 10.0)
+        """Scale a simulation duration given in the paper.
+
+        If the scaled duration falls below :attr:`min_duration` the floor is
+        returned instead, and a :class:`RuntimeWarning` explains that the
+        requested ``time_factor`` is effectively being overridden.
+        """
+        scaled_duration = seconds * self.time_factor
+        if scaled_duration < self.min_duration:
+            warnings.warn(
+                f"scale {self.name!r}: scaled duration {scaled_duration:.2f} s is below "
+                f"the {self.min_duration:.2f} s floor; using the floor instead "
+                f"(set min_duration=0.0 to disable)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return self.min_duration
+        return scaled_duration
 
     def receivers(self, count: int) -> int:
         """Scale a receiver count given in the paper."""

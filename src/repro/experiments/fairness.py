@@ -10,6 +10,11 @@
   constrained receiver and the per-receiver loss processes are only loosely
   correlated, TFMCC achieves only about 70 % of TCP's throughput -- the
   throughput-degradation effect of Section 3.
+
+Both drivers are thin wrappers over the declarative scenario layer
+(:mod:`repro.scenarios`): they scale the paper parameters, build the
+equivalent :class:`~repro.scenarios.spec.ScenarioSpec`, run it, and reshape
+the generic record into the figure-specific result types.
 """
 
 from __future__ import annotations
@@ -17,16 +22,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import TFMCCConfig
-from repro.experiments.common import (
-    ExperimentResult,
-    add_tcp_flow,
-    collect_flow,
-    scaled,
-)
-from repro.session import TFMCCSession
-from repro.simulator.engine import Simulator
-from repro.simulator.monitor import ThroughputMonitor
-from repro.simulator.topology import Network
+from repro.experiments.common import ExperimentResult, collect_flow, scaled
+from repro.scenarios.build import build_scenario
+from repro.scenarios.registry import individual_bottlenecks_spec, shared_bottleneck_spec
 
 
 def run_shared_bottleneck(
@@ -48,32 +46,27 @@ def run_shared_bottleneck(
     num_tcp = max(2, s.receivers(num_tcp)) if s.receiver_factor != 1.0 else num_tcp
     bottleneck = s.bandwidth(bottleneck_bps)
     run_time = s.duration(duration)
-    sim = Simulator(seed=seed)
-    net = Network.dumbbell(
-        sim,
-        num_left=num_tcp + 1,
-        num_right=num_tcp + 1,
-        bottleneck_bandwidth=bottleneck,
+
+    spec = shared_bottleneck_spec(
+        num_tcp=num_tcp,
+        bottleneck_bps=bottleneck,
         bottleneck_delay=bottleneck_delay,
-        access_bandwidth=bottleneck * 12.5,
-        access_delay=0.001,
+        duration=run_time,
+        warmup_fraction=s.warmup_fraction,
     )
-    monitor = ThroughputMonitor(sim, interval=1.0)
-    session = TFMCCSession(sim, net, sender_node="src0", config=config, monitor=monitor)
-    receiver = session.add_receiver("dst0")
-    session.start(0.0)
-    for i in range(1, num_tcp + 1):
-        add_tcp_flow(sim, net, f"tcp{i}", f"src{i}", f"dst{i}", monitor)
-    sim.run(until=run_time)
+    built = build_scenario(spec, seed=seed, config=config)
+    built.run()
+    monitor = built.monitor
 
     t_start = run_time * s.warmup_fraction
+    receiver_id = built.receiver_ids[0][0]
     result = ExperimentResult(name="fig09_shared_bottleneck", scale=s.name, duration=run_time)
-    result.flows.append(collect_flow(monitor, receiver.receiver_id, "tfmcc", t_start, run_time))
+    result.flows.append(collect_flow(monitor, receiver_id, "tfmcc", t_start, run_time))
     for i in range(1, num_tcp + 1):
         result.flows.append(collect_flow(monitor, f"tcp{i}", "tcp", t_start, run_time))
     result.extra["fair_share_bps"] = bottleneck / (num_tcp + 1)
     result.extra["tfmcc_smoothness_cov"] = monitor.stats(
-        receiver.receiver_id, t_start, run_time
+        receiver_id, t_start, run_time
     ).coefficient_of_variation
     tcp_cov = [
         monitor.stats(f"tcp{i}", t_start, run_time).coefficient_of_variation
@@ -103,26 +96,17 @@ def run_individual_bottlenecks(
     count = max(4, s.receivers(num_receivers)) if s.receiver_factor != 1.0 else num_receivers
     tail = s.bandwidth(tail_bps)
     run_time = s.duration(duration)
-    sim = Simulator(seed=seed)
-    net = Network(sim)
-    core_bw = tail * count * 4
-    jitter = 1000.0 * 8.0 / tail
-    # Sender side: source -> core router.
-    net.add_duplex_link("sender", "core", core_bw, 0.001, jitter=jitter)
-    # One tail circuit per receiver, shared by the TFMCC receiver and a TCP sink.
-    for i in range(count):
-        net.add_duplex_link("core", f"tail{i}", tail, tail_delay, jitter=jitter)
-        net.add_duplex_link(f"tail{i}", f"rcv{i}", core_bw, 0.001, jitter=jitter)
-        net.add_duplex_link(f"tcp_src{i}", "core", core_bw, 0.001, jitter=jitter)
-    net.build_routes()
 
-    monitor = ThroughputMonitor(sim, interval=1.0)
-    session = TFMCCSession(sim, net, sender_node="sender", config=config, monitor=monitor)
-    receivers = [session.add_receiver(f"rcv{i}") for i in range(count)]
-    session.start(0.0)
-    for i in range(count):
-        add_tcp_flow(sim, net, f"tcp{i}", f"tcp_src{i}", f"rcv{i}", monitor)
-    sim.run(until=run_time)
+    spec = individual_bottlenecks_spec(
+        num_receivers=count,
+        tail_bps=tail,
+        tail_delay=tail_delay,
+        duration=run_time,
+        warmup_fraction=s.warmup_fraction,
+    )
+    built = build_scenario(spec, seed=seed, config=config)
+    built.run()
+    monitor = built.monitor
 
     t_start = run_time * s.warmup_fraction
     result = ExperimentResult(
@@ -130,9 +114,9 @@ def run_individual_bottlenecks(
     )
     # TFMCC throughput is measured at the receivers (they all see the same
     # sender rate minus their own tail losses); report the mean.
-    for receiver in receivers:
+    for receiver_id in built.receiver_ids[0]:
         result.flows.append(
-            collect_flow(monitor, receiver.receiver_id, "tfmcc", t_start, run_time, False)
+            collect_flow(monitor, receiver_id, "tfmcc", t_start, run_time, False)
         )
     for i in range(count):
         result.flows.append(collect_flow(monitor, f"tcp{i}", "tcp", t_start, run_time, False))

@@ -11,6 +11,10 @@ Figure 16 repeats the experiment with a TCP flow sharing the 200 kbit/s tail
 for the whole run: that flow inevitably suffers while the tail is flooded at
 join time, but recovers once TFMCC adapts, and the tail bandwidth ends up
 shared between TFMCC and TCP.
+
+The driver is a thin wrapper over the declarative scenario layer
+(:func:`repro.scenarios.registry.late_join_spec`); only the CLR-switch probe
+and the phase-by-phase reduction are experiment-specific.
 """
 
 from __future__ import annotations
@@ -19,11 +23,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import TFMCCConfig
-from repro.experiments.common import add_tcp_flow, scaled
-from repro.session import TFMCCSession
-from repro.simulator.engine import Simulator
-from repro.simulator.monitor import ThroughputMonitor
-from repro.simulator.topology import Network
+from repro.experiments.common import scaled
+from repro.scenarios.build import build_scenario
+from repro.scenarios.registry import late_join_spec
 
 
 @dataclass
@@ -62,7 +64,6 @@ def run_late_join(
     ``with_tcp_on_tail`` enables the additional TCP flow of Figure 16.
     """
     s = scaled(scale)
-    shared = s.bandwidth(shared_bps)
     tail = s.bandwidth(tail_bps)
     run_time = s.duration(duration)
     tf = run_time / duration
@@ -71,34 +72,18 @@ def run_late_join(
     num_rcv = max(2, s.receivers(num_main_receivers)) if s.receiver_factor != 1.0 else num_main_receivers
     shared = s.bandwidth(shared_bps) * (num_tcp_scaled + 1) / (num_tcp + 1)
 
-    sim = Simulator(seed=seed)
-    net = Network.dumbbell(
-        sim,
-        num_left=num_tcp_scaled + 1,
-        num_right=max(num_rcv, num_tcp_scaled + 1),
-        bottleneck_bandwidth=shared,
-        bottleneck_delay=0.02,
-        access_bandwidth=shared * 12.5,
-        access_delay=0.001,
+    spec = late_join_spec(
+        num_main_receivers=num_rcv,
+        num_tcp=num_tcp_scaled,
+        shared_bps=shared,
+        tail_bps=tail,
+        join_time=join_at,
+        leave_time=leave_at,
+        duration=run_time,
+        with_tcp_on_tail=with_tcp_on_tail,
     )
-    # Add the slow tail behind the right-hand router.
-    jitter = 1000.0 * 8.0 / shared
-    net.add_duplex_link("router_right", "slow_tail", tail, 0.02, queue_limit=20, jitter=jitter)
-    net.add_duplex_link("slow_tail", "slow_rcv", shared, 0.001, jitter=jitter)
-    net.add_duplex_link("tcp_slow_src", "router_left", shared * 12.5, 0.001, jitter=jitter)
-    net.build_routes()
-
-    monitor = ThroughputMonitor(sim, interval=1.0)
-    session = TFMCCSession(sim, net, sender_node="src0", config=config, monitor=monitor)
-    main_receivers = [session.add_receiver(f"dst{i}") for i in range(num_rcv)]
-    session.start(0.0)
-    for i in range(1, num_tcp_scaled + 1):
-        add_tcp_flow(sim, net, f"tcp{i}", f"src{i}", f"dst{i}", monitor)
-    if with_tcp_on_tail:
-        add_tcp_flow(sim, net, "tcp_slow", "tcp_slow_src", "slow_rcv", monitor)
-
-    session.add_receiver_at(join_at, "slow_rcv", receiver_id="late-rcv")
-    session.remove_receiver_at(leave_at, "late-rcv")
+    built = build_scenario(spec, seed=seed, config=config)
+    sim, monitor, session = built.sim, built.monitor, built.sessions[0]
 
     # Track when the late receiver becomes CLR.
     switch = {"at": None}
@@ -111,9 +96,9 @@ def run_late_join(
                 sim.schedule(0.25, check_clr)
 
     sim.schedule_at(join_at, check_clr)
-    sim.run(until=run_time)
+    built.run()
 
-    main_id = main_receivers[0].receiver_id
+    main_id = built.receiver_ids[0][0]
     result = LateJoinResult(
         scale=s.name,
         join_time=join_at,

@@ -1,0 +1,75 @@
+"""Declarative scenario subsystem.
+
+* :mod:`repro.scenarios.spec` — JSON-serialisable scenario descriptions,
+* :mod:`repro.scenarios.build` — spec -> live simulation builders,
+* :mod:`repro.scenarios.registry` — named scenarios for the CLI and sweeps,
+* :mod:`repro.scenarios.sweep` — parameter grids over worker processes,
+* :mod:`repro.scenarios.store` — append-only JSONL results.
+
+Quick use::
+
+    from repro.scenarios import get_scenario, run_scenario
+    record = run_scenario(get_scenario("fairness").spec(num_tcp=8), seed=3)
+"""
+
+from repro.scenarios.build import BuiltScenario, build_network, build_scenario, run_scenario
+from repro.scenarios.registry import (
+    ScenarioFactory,
+    get_scenario,
+    register,
+    scenario_names,
+    scenarios,
+)
+from repro.scenarios.spec import (
+    BackgroundFlowSpec,
+    ChainSpec,
+    CustomSpec,
+    DumbbellSpec,
+    DuplexLinkSpec,
+    EdgeSpec,
+    GilbertElliottSpec,
+    ImpairmentSpec,
+    MetricsSpec,
+    ReceiverSpec,
+    ScenarioSpec,
+    StarSpec,
+    TcpFlowSpec,
+    TfmccFlowSpec,
+    TopologySpec,
+)
+from repro.scenarios.store import ResultStore, encode_record
+from repro.scenarios.sweep import SweepRun, SweepRunner, execute_run, expand_grid, sweep
+
+__all__ = [
+    "BackgroundFlowSpec",
+    "BuiltScenario",
+    "ChainSpec",
+    "CustomSpec",
+    "DumbbellSpec",
+    "DuplexLinkSpec",
+    "EdgeSpec",
+    "GilbertElliottSpec",
+    "ImpairmentSpec",
+    "MetricsSpec",
+    "ReceiverSpec",
+    "ResultStore",
+    "ScenarioFactory",
+    "ScenarioSpec",
+    "StarSpec",
+    "SweepRun",
+    "SweepRunner",
+    "TcpFlowSpec",
+    "TfmccFlowSpec",
+    "TopologySpec",
+    "build_network",
+    "build_scenario",
+    "encode_record",
+    "execute_run",
+    "expand_grid",
+    "get_scenario",
+    "register",
+    "run_scenario",
+    "scenario_names",
+    "scenarios",
+    "sweep",
+]

@@ -1,0 +1,297 @@
+"""Turn a :class:`~repro.scenarios.spec.ScenarioSpec` into live simulation.
+
+``build_scenario`` constructs the simulator, topology, TFMCC sessions
+(including membership schedules), TCP flows and background sources exactly in
+spec order, so that a given (spec, seed) pair always produces the same event
+sequence — and therefore bit-identical results — regardless of where or how
+the run is executed (inline, CLI, or a sweep worker process).
+
+``run_scenario`` is the pure function used by the sweep runner: it builds,
+runs, and reduces the simulation to a JSON-compatible result record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.config import TFMCCConfig
+from repro.experiments.common import add_tcp_flow
+from repro.scenarios.spec import (
+    ChainSpec,
+    CustomSpec,
+    DumbbellSpec,
+    DuplexLinkSpec,
+    ImpairmentSpec,
+    ScenarioSpec,
+    StarSpec,
+    TopologySpec,
+)
+from repro.session import TFMCCSession
+from repro.simulator.engine import Simulator
+from repro.simulator.link import GilbertElliottLoss
+from repro.simulator.monitor import ThroughputMonitor, fairness_index
+from repro.simulator.sources import CBRSource, OnOffSource, TrafficSink
+from repro.simulator.topology import Network
+
+
+def _loss_model_factory(impairment: ImpairmentSpec):
+    ge = impairment.gilbert_elliott
+    if ge is None:
+        return None
+    return lambda: GilbertElliottLoss(ge.p_good_bad, ge.p_bad_good, ge.loss_good, ge.loss_bad)
+
+
+def _jitter(impairment: ImpairmentSpec, default: Optional[float] = None) -> float:
+    """Resolve a link's jitter: explicit spec value wins, else the default."""
+    if impairment.jitter is not None:
+        return impairment.jitter
+    return default if default is not None else 0.0
+
+
+def _add_duplex(net: Network, link: DuplexLinkSpec) -> None:
+    net.add_duplex_link(
+        link.a,
+        link.b,
+        link.bandwidth,
+        link.delay,
+        link.queue_limit,
+        link.impairment.loss_rate,
+        jitter=_jitter(link.impairment),
+        loss_model_factory=_loss_model_factory(link.impairment),
+    )
+
+
+def build_network(sim: Simulator, topo: TopologySpec) -> Network:
+    """Construct the :class:`Network` described by a topology spec."""
+    if isinstance(topo, DumbbellSpec):
+        net = Network.dumbbell(
+            sim,
+            num_left=topo.num_left,
+            num_right=topo.num_right,
+            bottleneck_bandwidth=topo.bottleneck_bps,
+            bottleneck_delay=topo.bottleneck_delay,
+            access_bandwidth=topo.access_bps,
+            access_delay=topo.access_delay,
+            queue_limit=topo.queue_limit,
+            access_queue_limit=topo.access_queue_limit,
+            access_jitter=topo.access_jitter,
+        )
+    elif isinstance(topo, StarSpec):
+        jitter = topo.jitter
+        if jitter is None and topo.leaves:
+            # Same phase-effect mitigation as the experiment drivers: one
+            # packet time at the slowest leaf.
+            jitter = 1000.0 * 8.0 / min(leaf.bandwidth for leaf in topo.leaves)
+        net = Network(sim)
+        net.add_duplex_link("source", "hub", topo.hub_bps, topo.hub_delay, jitter=jitter or 0.0)
+        for i, leaf in enumerate(topo.leaves):
+            net.add_duplex_link(
+                f"leaf{i}",
+                "hub",
+                leaf.bandwidth,
+                leaf.delay,
+                leaf.queue_limit,
+                leaf.impairment.loss_rate,
+                jitter=_jitter(leaf.impairment, jitter),
+                loss_model_factory=_loss_model_factory(leaf.impairment),
+            )
+    elif isinstance(topo, ChainSpec):
+        jitter = topo.jitter
+        if jitter is None and topo.hops:
+            jitter = 1000.0 * 8.0 / min(hop.bandwidth for hop in topo.hops)
+        net = Network(sim)
+        for i, hop in enumerate(topo.hops):
+            net.add_duplex_link(
+                f"n{i}",
+                f"n{i + 1}",
+                hop.bandwidth,
+                hop.delay,
+                hop.queue_limit,
+                hop.impairment.loss_rate,
+                jitter=_jitter(hop.impairment, jitter),
+                loss_model_factory=_loss_model_factory(hop.impairment),
+            )
+    elif isinstance(topo, CustomSpec):
+        net = Network(sim)
+    else:
+        raise ValueError(f"cannot build topology of type {type(topo).__name__}")
+
+    for extra in topo.extra_links:
+        _add_duplex(net, extra)
+    net.build_routes()
+    return net
+
+
+@dataclass
+class BuiltScenario:
+    """A scenario materialised into live simulator objects, ready to run."""
+
+    spec: ScenarioSpec
+    seed: int
+    sim: Simulator
+    network: Network
+    monitor: ThroughputMonitor
+    sessions: List[TFMCCSession] = field(default_factory=list)
+    #: Receiver ids per session, in spec order (including scheduled joiners).
+    receiver_ids: List[List[str]] = field(default_factory=list)
+    background: Dict[str, Tuple[Any, TrafficSink]] = field(default_factory=dict)
+
+    def run(self) -> float:
+        """Run the simulation to the scenario's configured duration."""
+        return self.sim.run(until=self.spec.duration)
+
+    def collect(self) -> Dict[str, Any]:
+        """Reduce the finished run to a JSON-compatible result record."""
+        return collect_record(self)
+
+
+def build_scenario(
+    spec: ScenarioSpec,
+    seed: int = 1,
+    config: Optional[TFMCCConfig] = None,
+) -> BuiltScenario:
+    """Materialise ``spec`` into a ready-to-run simulation.
+
+    ``config`` optionally overrides the TFMCC protocol configuration of every
+    session (the protocol parameters are deliberately not part of the
+    scenario spec; ablations pass them separately).
+    """
+    sim = Simulator(seed=seed)
+    network = build_network(sim, spec.topology)
+    monitor = ThroughputMonitor(sim, interval=spec.metrics.interval)
+    built = BuiltScenario(spec=spec, seed=seed, sim=sim, network=network, monitor=monitor)
+
+    for flow_index, flow in enumerate(spec.tfmcc):
+        # An explicit session name keeps flow/receiver ids deterministic:
+        # the default falls back to a process-global counter, which would
+        # make records differ between sweep workers.
+        session = TFMCCSession(
+            sim,
+            network,
+            sender_node=flow.sender_node,
+            config=config,
+            monitor=monitor,
+            name=flow.name or f"tfmcc{flow_index}",
+        )
+        rids: List[str] = []
+        # Receivers with join_at=0 are created at build time, before the
+        # sender starts (matching the hand-written drivers); any positive
+        # join_at is honoured literally via the event queue, as are leaves.
+        for rs in flow.receivers:
+            if rs.join_at <= 0.0:
+                receiver = session.add_receiver(
+                    rs.node, receiver_id=rs.receiver_id, leave_at=rs.leave_at
+                )
+                rids.append(receiver.receiver_id)
+            else:
+                rids.append(
+                    session.add_receiver_at(
+                        rs.join_at, rs.node, receiver_id=rs.receiver_id, leave_at=rs.leave_at
+                    )
+                )
+        session.start(flow.start)
+        if flow.stop is not None:
+            session.stop(flow.stop)
+        built.sessions.append(session)
+        built.receiver_ids.append(rids)
+
+    for tcp in spec.tcp:
+        add_tcp_flow(
+            sim,
+            network,
+            tcp.flow_id,
+            tcp.src,
+            tcp.dst,
+            monitor,
+            start=tcp.start,
+            stop=tcp.stop,
+        )
+
+    for bg in spec.background:
+        if bg.kind == "onoff":
+            source: CBRSource = OnOffSource(
+                sim,
+                bg.flow_id,
+                bg.dst,
+                bg.rate_bps,
+                packet_size=bg.packet_size,
+                on_time=bg.on_time,
+                off_time=bg.off_time,
+                exponential=bg.exponential,
+            )
+        else:
+            source = CBRSource(sim, bg.flow_id, bg.dst, bg.rate_bps, packet_size=bg.packet_size)
+        sink = TrafficSink(sim, bg.flow_id, monitor=monitor)
+        network.attach(bg.src, source)
+        network.attach(bg.dst, sink)
+        source.start(bg.start)
+        if bg.stop is not None:
+            source.stop(bg.stop)
+        built.background[bg.flow_id] = (source, sink)
+
+    return built
+
+
+# ------------------------------------------------------------------ metrics
+
+
+def collect_record(built: BuiltScenario) -> Dict[str, Any]:
+    """Summarise a finished run as a plain-JSON result record."""
+    spec, monitor = built.spec, built.monitor
+    duration = spec.duration
+    t_start = duration * spec.metrics.warmup_fraction
+
+    flows: List[Dict[str, Any]] = []
+    series: Dict[str, List[List[float]]] = {}
+
+    def add_flow(flow_id: str, kind: str) -> float:
+        avg = monitor.average_throughput(flow_id, t_start, duration)
+        flows.append({"id": flow_id, "kind": kind, "avg_bps": avg})
+        if spec.metrics.with_series:
+            series[flow_id] = [[t, v] for t, v in monitor.series(flow_id, 0.0, duration)]
+        return avg
+
+    tfmcc_rates: List[float] = []
+    for rids in built.receiver_ids:
+        for rid in rids:
+            tfmcc_rates.append(add_flow(rid, "tfmcc"))
+    tcp_rates = [add_flow(tcp.flow_id, "tcp") for tcp in spec.tcp]
+    for bg in spec.background:
+        add_flow(bg.flow_id, "background")
+
+    tfmcc_mean = sum(tfmcc_rates) / len(tfmcc_rates) if tfmcc_rates else 0.0
+    tcp_mean = sum(tcp_rates) / len(tcp_rates) if tcp_rates else 0.0
+
+    record: Dict[str, Any] = {
+        "scenario": spec.name,
+        "seed": built.seed,
+        "duration": duration,
+        "warmup_s": t_start,
+        "events": built.sim.events_processed,
+        "flows": flows,
+        "tfmcc_mean_bps": tfmcc_mean,
+        "tcp_mean_bps": tcp_mean,
+        "tfmcc_tcp_ratio": (tfmcc_mean / tcp_mean) if tcp_mean > 0 else None,
+        "fairness_index": fairness_index(tfmcc_rates + tcp_rates),
+    }
+    if spec.metrics.link_stats:
+        record["links"] = {
+            "packets_sent": sum(l.packets_sent for l in built.network.links),
+            "queue_drops": sum(l.queue_drops for l in built.network.links),
+            "random_drops": sum(l.random_drops for l in built.network.links),
+        }
+    if spec.metrics.with_series:
+        record["series"] = series
+    return record
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    seed: int = 1,
+    config: Optional[TFMCCConfig] = None,
+) -> Dict[str, Any]:
+    """Build, run and summarise ``spec`` — deterministic in (spec, seed)."""
+    built = build_scenario(spec, seed=seed, config=config)
+    built.run()
+    return built.collect()

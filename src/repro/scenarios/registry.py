@@ -1,0 +1,515 @@
+"""Named-scenario registry.
+
+Each entry maps a name to a *factory*: a function that turns keyword
+parameters into a concrete :class:`ScenarioSpec`.  The registry is what the
+``python -m repro`` CLI lists, runs and sweeps; the spec-builder functions are
+also reused by the hand-written experiment drivers (``experiments/fairness``
+and ``experiments/late_join`` are thin wrappers over them).
+
+Registered scenarios
+--------------------
+``fairness``                Figure 9: TFMCC + N TCP over one bottleneck.
+``individual-bottlenecks``  Figure 10: per-receiver tail circuits.
+``scaling``                 Receiver-count scaling on one bottleneck.
+``late-join``               Figures 15/16: slow receiver joins mid-session.
+``responsiveness``          Figure 11: staggered joins/leaves on lossy star.
+``bursty-loss``             NEW: Gilbert-Elliott bursty-loss multicast.
+``background-traffic``      NEW: on-off CBR contention on the bottleneck.
+``flash-crowd``             NEW: a crowd of receivers joins almost at once.
+
+Default parameter values are sized for interactive CLI use (seconds, not
+minutes, of wall clock); pass e.g. ``--set duration=200`` for paper-like
+runs.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence
+
+from repro.scenarios.spec import (
+    BackgroundFlowSpec,
+    CustomSpec,
+    DumbbellSpec,
+    DuplexLinkSpec,
+    EdgeSpec,
+    GilbertElliottSpec,
+    ImpairmentSpec,
+    MetricsSpec,
+    ReceiverSpec,
+    ScenarioSpec,
+    StarSpec,
+    TcpFlowSpec,
+    TfmccFlowSpec,
+)
+
+
+@dataclass(frozen=True)
+class ScenarioFactory:
+    """A named, parameterised recipe for building scenario specs."""
+
+    name: str
+    description: str
+    build: Callable[..., ScenarioSpec]
+
+    @property
+    def defaults(self) -> Dict[str, Any]:
+        """Keyword parameters of the factory and their default values."""
+        return {
+            p.name: p.default
+            for p in inspect.signature(self.build).parameters.values()
+            if p.default is not inspect.Parameter.empty
+        }
+
+    def validate_params(self, params: Any) -> None:
+        """Raise ValueError if ``params`` names parameters the factory lacks."""
+        unknown = set(params) - set(self.defaults)
+        if unknown:
+            raise ValueError(
+                f"unknown parameters for scenario {self.name!r}: {sorted(unknown)} "
+                f"(accepted: {sorted(self.defaults)})"
+            )
+
+    def spec(self, **params: Any) -> ScenarioSpec:
+        self.validate_params(params)
+        return self.build(**params)
+
+
+_REGISTRY: Dict[str, ScenarioFactory] = {}
+
+
+def register(factory: ScenarioFactory) -> ScenarioFactory:
+    if factory.name in _REGISTRY:
+        raise ValueError(f"scenario {factory.name!r} already registered")
+    _REGISTRY[factory.name] = factory
+    return factory
+
+
+def get_scenario(name: str) -> ScenarioFactory:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def scenarios() -> List[ScenarioFactory]:
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+# ------------------------------------------------------- paper-equivalent specs
+
+
+def shared_bottleneck_spec(
+    num_tcp: int = 4,
+    bottleneck_bps: float = 4e6,
+    bottleneck_delay: float = 0.02,
+    duration: float = 60.0,
+    warmup_fraction: float = 0.25,
+    with_series: bool = False,
+) -> ScenarioSpec:
+    """Figure 9 family: one TFMCC flow and ``num_tcp`` TCP flows, one bottleneck."""
+    topology = DumbbellSpec(
+        num_left=num_tcp + 1,
+        num_right=num_tcp + 1,
+        bottleneck_bps=bottleneck_bps,
+        bottleneck_delay=bottleneck_delay,
+        access_bps=bottleneck_bps * 12.5,
+        access_delay=0.001,
+    )
+    return ScenarioSpec(
+        name="fairness",
+        description="TFMCC and TCP sharing a single bottleneck (Figure 9)",
+        duration=duration,
+        topology=topology,
+        tfmcc=(TfmccFlowSpec(sender_node="src0", receivers=(ReceiverSpec(node="dst0"),)),),
+        tcp=tuple(
+            TcpFlowSpec(flow_id=f"tcp{i}", src=f"src{i}", dst=f"dst{i}")
+            for i in range(1, num_tcp + 1)
+        ),
+        metrics=MetricsSpec(warmup_fraction=warmup_fraction, with_series=with_series),
+    )
+
+
+def individual_bottlenecks_spec(
+    num_receivers: int = 6,
+    tail_bps: float = 1e6,
+    tail_delay: float = 0.02,
+    duration: float = 60.0,
+    warmup_fraction: float = 0.25,
+) -> ScenarioSpec:
+    """Figure 10 family: every receiver behind its own tail shared with one TCP."""
+    core_bw = tail_bps * num_receivers * 4
+    jitter = 1000.0 * 8.0 / tail_bps
+    imp = ImpairmentSpec(jitter=jitter)
+    links = [DuplexLinkSpec("sender", "core", core_bw, 0.001, impairment=imp)]
+    for i in range(num_receivers):
+        links.append(DuplexLinkSpec("core", f"tail{i}", tail_bps, tail_delay, impairment=imp))
+        links.append(DuplexLinkSpec(f"tail{i}", f"rcv{i}", core_bw, 0.001, impairment=imp))
+        links.append(DuplexLinkSpec(f"tcp_src{i}", "core", core_bw, 0.001, impairment=imp))
+    return ScenarioSpec(
+        name="individual-bottlenecks",
+        description="One tail circuit per receiver, one TCP per tail (Figure 10)",
+        duration=duration,
+        topology=CustomSpec(extra_links=tuple(links)),
+        tfmcc=(
+            TfmccFlowSpec(
+                sender_node="sender",
+                receivers=tuple(ReceiverSpec(node=f"rcv{i}") for i in range(num_receivers)),
+            ),
+        ),
+        tcp=tuple(
+            TcpFlowSpec(flow_id=f"tcp{i}", src=f"tcp_src{i}", dst=f"rcv{i}")
+            for i in range(num_receivers)
+        ),
+        metrics=MetricsSpec(warmup_fraction=warmup_fraction),
+    )
+
+
+def scaling_spec(
+    num_receivers: int = 8,
+    bottleneck_bps: float = 2e6,
+    bottleneck_delay: float = 0.02,
+    duration: float = 45.0,
+    warmup_fraction: float = 0.3,
+) -> ScenarioSpec:
+    """Throughput-degradation companion to Figure 7: many receivers, one link.
+
+    All receivers share the same bottleneck, so their loss processes are
+    loosely correlated; growing ``num_receivers`` exercises the scaling
+    behaviour of CLR selection and feedback suppression in simulation.
+    """
+    topology = DumbbellSpec(
+        num_left=1,
+        num_right=num_receivers,
+        bottleneck_bps=bottleneck_bps,
+        bottleneck_delay=bottleneck_delay,
+        access_bps=bottleneck_bps * 12.5,
+        access_delay=0.001,
+    )
+    return ScenarioSpec(
+        name="scaling",
+        description="Receiver-count scaling over a shared bottleneck (Figure 7 companion)",
+        duration=duration,
+        topology=topology,
+        tfmcc=(
+            TfmccFlowSpec(
+                sender_node="src0",
+                receivers=tuple(ReceiverSpec(node=f"dst{i}") for i in range(num_receivers)),
+            ),
+        ),
+        metrics=MetricsSpec(warmup_fraction=warmup_fraction),
+    )
+
+
+def late_join_spec(
+    num_main_receivers: int = 2,
+    num_tcp: int = 2,
+    shared_bps: float = 2e6,
+    tail_bps: float = 50e3,
+    join_time: float = 20.0,
+    leave_time: float = 40.0,
+    duration: float = 60.0,
+    with_tcp_on_tail: bool = False,
+    warmup_fraction: float = 0.15,
+    with_series: bool = False,
+) -> ScenarioSpec:
+    """Figures 15/16 family: a receiver behind a slow tail joins mid-session."""
+    jitter = 1000.0 * 8.0 / shared_bps
+    imp = ImpairmentSpec(jitter=jitter)
+    topology = DumbbellSpec(
+        num_left=num_tcp + 1,
+        num_right=max(num_main_receivers, num_tcp + 1),
+        bottleneck_bps=shared_bps,
+        bottleneck_delay=0.02,
+        access_bps=shared_bps * 12.5,
+        access_delay=0.001,
+        extra_links=(
+            DuplexLinkSpec("router_right", "slow_tail", tail_bps, 0.02, queue_limit=20, impairment=imp),
+            DuplexLinkSpec("slow_tail", "slow_rcv", shared_bps, 0.001, impairment=imp),
+            DuplexLinkSpec("tcp_slow_src", "router_left", shared_bps * 12.5, 0.001, impairment=imp),
+        ),
+    )
+    receivers = tuple(
+        ReceiverSpec(node=f"dst{i}") for i in range(num_main_receivers)
+    ) + (
+        ReceiverSpec(node="slow_rcv", receiver_id="late-rcv", join_at=join_time, leave_at=leave_time),
+    )
+    tcp_flows = [
+        TcpFlowSpec(flow_id=f"tcp{i}", src=f"src{i}", dst=f"dst{i}")
+        for i in range(1, num_tcp + 1)
+    ]
+    if with_tcp_on_tail:
+        tcp_flows.append(TcpFlowSpec(flow_id="tcp_slow", src="tcp_slow_src", dst="slow_rcv"))
+    return ScenarioSpec(
+        name="late-join",
+        description="Late join of a receiver behind a slow tail (Figures 15/16)",
+        duration=duration,
+        topology=topology,
+        tfmcc=(TfmccFlowSpec(sender_node="src0", receivers=receivers),),
+        tcp=tuple(tcp_flows),
+        metrics=MetricsSpec(warmup_fraction=warmup_fraction, with_series=with_series),
+    )
+
+
+def responsiveness_spec(
+    loss_rates: Sequence[float] = (0.001, 0.005, 0.025, 0.125),
+    link_bps: float = 5e6,
+    first_join: float = 15.0,
+    join_interval: float = 10.0,
+    duration: float = 90.0,
+    warmup_fraction: float = 0.1,
+) -> ScenarioSpec:
+    """Figure 11 family: staggered joins/leaves on a star with lossy leaves."""
+    loss_rates = tuple(loss_rates)
+    leaves = tuple(
+        EdgeSpec(bandwidth=link_bps, delay=0.03, impairment=ImpairmentSpec(loss_rate=p))
+        for p in loss_rates
+    )
+    receivers = [ReceiverSpec(node="leaf0", receiver_id="rcv0")]
+    leave_start = first_join + (len(loss_rates) - 1) * join_interval
+    for i in range(1, len(loss_rates)):
+        join_at = first_join + (i - 1) * join_interval
+        # Leaves happen in reverse join order: the lossiest receiver departs first.
+        leave_at = leave_start + (len(loss_rates) - 1 - i) * join_interval
+        receivers.append(
+            ReceiverSpec(node=f"leaf{i}", receiver_id=f"rcv{i}", join_at=join_at, leave_at=leave_at)
+        )
+    return ScenarioSpec(
+        name="responsiveness",
+        description="Staggered joins/leaves on a lossy star (Figure 11)",
+        duration=duration,
+        topology=StarSpec(leaves=leaves, hub_bps=link_bps * 8),
+        tfmcc=(TfmccFlowSpec(sender_node="source", receivers=tuple(receivers)),),
+        tcp=tuple(
+            TcpFlowSpec(flow_id=f"tcp{i}", src="source", dst=f"leaf{i}")
+            for i in range(len(loss_rates))
+        ),
+        metrics=MetricsSpec(warmup_fraction=warmup_fraction),
+    )
+
+
+# ----------------------------------------------------------- new scenarios
+
+
+def gilbert_elliott_from_burst(loss_rate: float, burst_length: float) -> GilbertElliottSpec:
+    """Parameterise a Gilbert channel by average loss rate and mean burst length."""
+    if not 0.0 < loss_rate < 1.0:
+        raise ValueError("loss_rate must be in (0, 1)")
+    if burst_length < 1.0:
+        raise ValueError("burst_length must be >= 1 packet")
+    p_bad_good = 1.0 / burst_length
+    p_good_bad = loss_rate * p_bad_good / (1.0 - loss_rate)
+    return GilbertElliottSpec(p_good_bad=p_good_bad, p_bad_good=p_bad_good)
+
+
+def bursty_loss_spec(
+    loss_rate: float = 0.02,
+    burst_length: float = 8.0,
+    link_bps: float = 2e6,
+    num_clean_receivers: int = 2,
+    duration: float = 60.0,
+    warmup_fraction: float = 0.25,
+) -> ScenarioSpec:
+    """NEW: multicast over a wireless-style bursty-loss leaf.
+
+    ``num_clean_receivers`` receivers sit behind clean leaves while one
+    receiver is behind a Gilbert-Elliott leaf with the given average loss
+    rate and mean burst length; a TCP flow runs to every leaf.  Comparing
+    this against ``loss_rate`` with ``burst_length=1`` (Bernoulli) shows how
+    loss burstiness changes the loss-event rate TFMCC actually measures —
+    the wired-cum-wireless setting of the DCCP evaluation literature.
+    """
+    ge = gilbert_elliott_from_burst(loss_rate, burst_length)
+    leaves = tuple(
+        EdgeSpec(bandwidth=link_bps, delay=0.02) for _ in range(num_clean_receivers)
+    ) + (
+        EdgeSpec(bandwidth=link_bps, delay=0.05, impairment=ImpairmentSpec(gilbert_elliott=ge)),
+    )
+    num_leaves = len(leaves)
+    return ScenarioSpec(
+        name="bursty-loss",
+        description="Multicast with one Gilbert-Elliott bursty-loss receiver",
+        duration=duration,
+        topology=StarSpec(leaves=leaves, hub_bps=link_bps * 8),
+        tfmcc=(
+            TfmccFlowSpec(
+                sender_node="source",
+                receivers=tuple(ReceiverSpec(node=f"leaf{i}") for i in range(num_leaves)),
+            ),
+        ),
+        tcp=tuple(
+            TcpFlowSpec(flow_id=f"tcp{i}", src="source", dst=f"leaf{i}")
+            for i in range(num_leaves)
+        ),
+        metrics=MetricsSpec(warmup_fraction=warmup_fraction),
+    )
+
+
+def background_traffic_spec(
+    bg_fraction: float = 0.3,
+    num_background: int = 2,
+    on_time: float = 2.0,
+    off_time: float = 2.0,
+    num_tcp: int = 2,
+    bottleneck_bps: float = 4e6,
+    duration: float = 60.0,
+    warmup_fraction: float = 0.25,
+) -> ScenarioSpec:
+    """NEW: TFMCC and TCP contending with inelastic on-off background load.
+
+    ``num_background`` on-off sources together load the bottleneck to
+    ``bg_fraction`` of its capacity on average (each is ON half the time at
+    twice its average rate), modelling conferencing-style cross traffic that
+    does not back off under congestion.
+    """
+    if not 0.0 <= bg_fraction < 1.0:
+        raise ValueError("bg_fraction must be in [0, 1)")
+    num_endpoints = num_tcp + num_background + 1
+    topology = DumbbellSpec(
+        num_left=num_endpoints,
+        num_right=num_endpoints,
+        bottleneck_bps=bottleneck_bps,
+        bottleneck_delay=0.02,
+        access_bps=bottleneck_bps * 12.5,
+        access_delay=0.001,
+    )
+    duty_cycle = on_time / (on_time + off_time) if (on_time + off_time) > 0 else 1.0
+    per_source_avg = bottleneck_bps * bg_fraction / max(num_background, 1)
+    on_rate = per_source_avg / duty_cycle
+    # bg_fraction=0 degenerates to the plain fairness setup: no sources.
+    background = tuple(
+        BackgroundFlowSpec(
+            flow_id=f"bg{i}",
+            src=f"src{num_tcp + 1 + i}",
+            dst=f"dst{num_tcp + 1 + i}",
+            rate_bps=on_rate,
+            kind="onoff",
+            on_time=on_time,
+            off_time=off_time,
+        )
+        for i in range(num_background if on_rate > 0 else 0)
+    )
+    return ScenarioSpec(
+        name="background-traffic",
+        description="TFMCC vs TCP under inelastic on-off background load",
+        duration=duration,
+        topology=topology,
+        tfmcc=(TfmccFlowSpec(sender_node="src0", receivers=(ReceiverSpec(node="dst0"),)),),
+        tcp=tuple(
+            TcpFlowSpec(flow_id=f"tcp{i}", src=f"src{i}", dst=f"dst{i}")
+            for i in range(1, num_tcp + 1)
+        ),
+        background=background,
+        metrics=MetricsSpec(warmup_fraction=warmup_fraction),
+    )
+
+
+def flash_crowd_spec(
+    num_receivers: int = 12,
+    join_at: float = 15.0,
+    join_spread: float = 2.0,
+    num_tcp: int = 1,
+    bottleneck_bps: float = 2e6,
+    duration: float = 60.0,
+    warmup_fraction: float = 0.1,
+) -> ScenarioSpec:
+    """NEW: a flash crowd of receivers joins within a short window.
+
+    One receiver is present from the start; ``num_receivers`` more join
+    spread uniformly over ``join_spread`` seconds starting at ``join_at``
+    (a popular live event beginning).  The interesting outputs are the rate
+    dip while the feedback rounds absorb the crowd and the number of
+    simulator events spent on feedback suppression.
+    """
+    topology = DumbbellSpec(
+        num_left=num_tcp + 1,
+        num_right=num_receivers + 1,
+        bottleneck_bps=bottleneck_bps,
+        bottleneck_delay=0.02,
+        access_bps=bottleneck_bps * 12.5,
+        access_delay=0.001,
+    )
+    step = join_spread / max(num_receivers, 1)
+    receivers = (ReceiverSpec(node="dst0", receiver_id="rcv0"),) + tuple(
+        ReceiverSpec(node=f"dst{i + 1}", receiver_id=f"crowd{i}", join_at=join_at + i * step)
+        for i in range(num_receivers)
+    )
+    return ScenarioSpec(
+        name="flash-crowd",
+        description="A crowd of receivers joins within a short window",
+        duration=duration,
+        topology=topology,
+        tfmcc=(TfmccFlowSpec(sender_node="src0", receivers=receivers),),
+        tcp=tuple(
+            TcpFlowSpec(flow_id=f"tcp{i}", src=f"src{i}", dst=f"dst{i}")
+            for i in range(1, num_tcp + 1)
+        ),
+        metrics=MetricsSpec(warmup_fraction=warmup_fraction),
+    )
+
+
+# ------------------------------------------------------------- registration
+
+register(
+    ScenarioFactory(
+        name="fairness",
+        description="TFMCC and N TCP flows over one shared bottleneck (Figure 9)",
+        build=shared_bottleneck_spec,
+    )
+)
+register(
+    ScenarioFactory(
+        name="individual-bottlenecks",
+        description="Each receiver behind its own tail circuit with one TCP (Figure 10)",
+        build=individual_bottlenecks_spec,
+    )
+)
+register(
+    ScenarioFactory(
+        name="scaling",
+        description="Receiver-count scaling over a shared bottleneck (Figure 7 companion)",
+        build=scaling_spec,
+    )
+)
+register(
+    ScenarioFactory(
+        name="late-join",
+        description="A receiver behind a slow tail joins mid-session (Figures 15/16)",
+        build=late_join_spec,
+    )
+)
+register(
+    ScenarioFactory(
+        name="responsiveness",
+        description="Staggered joins/leaves on a star with lossy leaves (Figure 11)",
+        build=responsiveness_spec,
+    )
+)
+register(
+    ScenarioFactory(
+        name="bursty-loss",
+        description="Gilbert-Elliott bursty-loss receiver next to clean receivers (new)",
+        build=bursty_loss_spec,
+    )
+)
+register(
+    ScenarioFactory(
+        name="background-traffic",
+        description="Inelastic on-off background load on the bottleneck (new)",
+        build=background_traffic_spec,
+    )
+)
+register(
+    ScenarioFactory(
+        name="flash-crowd",
+        description="A crowd of receivers joins within a short window (new)",
+        build=flash_crowd_spec,
+    )
+)

@@ -1,0 +1,351 @@
+"""Declarative, JSON-serialisable scenario descriptions.
+
+A :class:`ScenarioSpec` fully describes one simulation run: the topology
+(dumbbell / star / chain / custom link list), per-link impairments (Bernoulli
+or Gilbert-Elliott bursty loss, jitter), the traffic mix (TFMCC sessions with
+membership schedules, greedy TCP flows, CBR / on-off background sources) and
+what metrics to collect.  Specs are plain frozen dataclasses with a stable
+dict/JSON form, so they can be stored in result files, shipped to worker
+processes, and diffed between runs.
+
+The split between *spec* and *builder* mirrors ns-2's OTcl-script /
+simulation-core split: everything in this module is inert data; the
+:mod:`repro.scenarios.build` module turns it into live simulator objects.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar
+
+T = TypeVar("T")
+
+
+def _from_mapping(cls: Type[T], data: Mapping[str, Any]) -> T:
+    """Build a flat dataclass from a mapping, rejecting unknown keys."""
+    allowed = {f.name for f in fields(cls)}
+    unknown = set(data) - allowed
+    if unknown:
+        raise ValueError(f"unknown {cls.__name__} fields: {sorted(unknown)}")
+    return cls(**data)
+
+
+# --------------------------------------------------------------- impairments
+
+
+@dataclass(frozen=True)
+class GilbertElliottSpec:
+    """Parameters of a two-state bursty-loss process (see ``simulator.link``)."""
+
+    p_good_bad: float
+    p_bad_good: float
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+
+    @property
+    def stationary_loss_rate(self) -> float:
+        total = self.p_good_bad + self.p_bad_good
+        if total <= 0.0:
+            return self.loss_good
+        pi_bad = self.p_good_bad / total
+        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+
+
+@dataclass(frozen=True)
+class ImpairmentSpec:
+    """Random loss and processing jitter applied to one link direction.
+
+    ``jitter=None`` means "unset": builders may substitute a topology-level
+    default (the phase-effect mitigation).  An explicit ``0.0`` forces a
+    jitter-free link even when such a default is active.
+    """
+
+    loss_rate: float = 0.0
+    jitter: Optional[float] = None
+    gilbert_elliott: Optional[GilbertElliottSpec] = None
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "ImpairmentSpec":
+        data = dict(data)
+        ge = data.pop("gilbert_elliott", None)
+        if ge is not None:
+            ge = _from_mapping(GilbertElliottSpec, ge)
+        return _from_mapping(ImpairmentSpec, {**data, "gilbert_elliott": ge})
+
+
+NO_IMPAIRMENT = ImpairmentSpec()
+
+
+# ------------------------------------------------------------------ topology
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """One duplex edge of a star or chain topology."""
+
+    bandwidth: float
+    delay: float
+    queue_limit: int = 50
+    impairment: ImpairmentSpec = NO_IMPAIRMENT
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "EdgeSpec":
+        data = dict(data)
+        imp = data.pop("impairment", None)
+        impairment = ImpairmentSpec.from_dict(imp) if imp is not None else NO_IMPAIRMENT
+        return _from_mapping(EdgeSpec, {**data, "impairment": impairment})
+
+
+@dataclass(frozen=True)
+class DuplexLinkSpec:
+    """A named duplex link, used for extra links and custom topologies."""
+
+    a: str
+    b: str
+    bandwidth: float
+    delay: float
+    queue_limit: int = 50
+    impairment: ImpairmentSpec = NO_IMPAIRMENT
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "DuplexLinkSpec":
+        data = dict(data)
+        imp = data.pop("impairment", None)
+        impairment = ImpairmentSpec.from_dict(imp) if imp is not None else NO_IMPAIRMENT
+        return _from_mapping(DuplexLinkSpec, {**data, "impairment": impairment})
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Base class for topology descriptions.
+
+    ``extra_links`` lets any topology be extended with additional duplex
+    links (e.g. the slow tail of the late-join experiment); routes are
+    rebuilt after they are added.
+    """
+
+    extra_links: Tuple[DuplexLinkSpec, ...] = ()
+
+    kind = "abstract"
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["kind"] = self.kind
+        return data
+
+
+@dataclass(frozen=True)
+class DumbbellSpec(TopologySpec):
+    """Single shared bottleneck: ``src*`` and ``dst*`` behind two routers."""
+
+    num_left: int = 1
+    num_right: int = 1
+    bottleneck_bps: float = 1e6
+    bottleneck_delay: float = 0.02
+    access_bps: float = 12.5e6
+    access_delay: float = 0.001
+    queue_limit: int = 50
+    access_queue_limit: Optional[int] = None
+    access_jitter: Optional[float] = None
+
+    kind = "dumbbell"
+
+
+@dataclass(frozen=True)
+class StarSpec(TopologySpec):
+    """A ``source`` behind a hub with per-leaf duplex links ``leaf0..N-1``."""
+
+    leaves: Tuple[EdgeSpec, ...] = ()
+    hub_bps: float = 100e6
+    hub_delay: float = 0.001
+    jitter: Optional[float] = None
+
+    kind = "star"
+
+
+@dataclass(frozen=True)
+class ChainSpec(TopologySpec):
+    """Linear multi-hop path ``n0 - n1 - ... - nK`` (one EdgeSpec per hop)."""
+
+    hops: Tuple[EdgeSpec, ...] = ()
+    jitter: Optional[float] = None
+
+    kind = "chain"
+
+
+@dataclass(frozen=True)
+class CustomSpec(TopologySpec):
+    """Arbitrary topology given purely as a list of duplex links."""
+
+    kind = "custom"
+
+
+_TOPOLOGY_KINDS: Dict[str, Type[TopologySpec]] = {
+    "dumbbell": DumbbellSpec,
+    "star": StarSpec,
+    "chain": ChainSpec,
+    "custom": CustomSpec,
+}
+
+
+def topology_from_dict(data: Mapping[str, Any]) -> TopologySpec:
+    data = dict(data)
+    kind = data.pop("kind", None)
+    cls = _TOPOLOGY_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown topology kind {kind!r}")
+    extra = tuple(DuplexLinkSpec.from_dict(e) for e in data.pop("extra_links", ()))
+    if cls in (StarSpec,):
+        data["leaves"] = tuple(EdgeSpec.from_dict(e) for e in data.pop("leaves", ()))
+    if cls in (ChainSpec,):
+        data["hops"] = tuple(EdgeSpec.from_dict(e) for e in data.pop("hops", ()))
+    return _from_mapping(cls, {**data, "extra_links": extra})
+
+
+# ------------------------------------------------------------------- traffic
+
+
+@dataclass(frozen=True)
+class ReceiverSpec:
+    """One TFMCC receiver: where it sits and when it is a member."""
+
+    node: str
+    receiver_id: Optional[str] = None
+    join_at: float = 0.0
+    leave_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.leave_at is not None and self.leave_at <= self.join_at:
+            raise ValueError(
+                f"receiver at {self.node!r}: leave_at ({self.leave_at}) must be "
+                f"after join_at ({self.join_at})"
+            )
+
+
+@dataclass(frozen=True)
+class TfmccFlowSpec:
+    """One TFMCC session: a sender node and its receiver membership schedule."""
+
+    sender_node: str
+    receivers: Tuple[ReceiverSpec, ...] = ()
+    start: float = 0.0
+    stop: Optional[float] = None
+    name: Optional[str] = None
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "TfmccFlowSpec":
+        data = dict(data)
+        receivers = tuple(
+            _from_mapping(ReceiverSpec, r) for r in data.pop("receivers", ())
+        )
+        return _from_mapping(TfmccFlowSpec, {**data, "receivers": receivers})
+
+
+@dataclass(frozen=True)
+class TcpFlowSpec:
+    """One greedy TCP Reno flow."""
+
+    flow_id: str
+    src: str
+    dst: str
+    start: float = 0.0
+    stop: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class BackgroundFlowSpec:
+    """One open-loop background flow (CBR or on-off)."""
+
+    flow_id: str
+    src: str
+    dst: str
+    rate_bps: float
+    packet_size: int = 1000
+    kind: str = "cbr"  # "cbr" | "onoff"
+    on_time: float = 1.0
+    off_time: float = 1.0
+    exponential: bool = True
+    start: float = 0.0
+    stop: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cbr", "onoff"):
+            raise ValueError(f"unknown background flow kind {self.kind!r}")
+
+
+# ------------------------------------------------------------------- metrics
+
+
+@dataclass(frozen=True)
+class MetricsSpec:
+    """What to measure and how to summarise it."""
+
+    interval: float = 1.0
+    warmup_fraction: float = 0.25
+    with_series: bool = False
+    link_stats: bool = True
+
+
+# -------------------------------------------------------------------- scenario
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, self-contained description of one simulation run."""
+
+    name: str
+    duration: float
+    topology: TopologySpec
+    tfmcc: Tuple[TfmccFlowSpec, ...] = ()
+    tcp: Tuple[TcpFlowSpec, ...] = ()
+    background: Tuple[BackgroundFlowSpec, ...] = ()
+    metrics: MetricsSpec = field(default_factory=MetricsSpec)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if not self.tfmcc and not self.tcp and not self.background:
+            raise ValueError(f"scenario {self.name!r} defines no traffic")
+
+    # ------------------------------------------------------------ serialisation
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["topology"] = self.topology.to_dict()
+        return data
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "ScenarioSpec":
+        data = dict(data)
+        topology = topology_from_dict(data.pop("topology"))
+        tfmcc = tuple(TfmccFlowSpec.from_dict(f) for f in data.pop("tfmcc", ()))
+        tcp = tuple(_from_mapping(TcpFlowSpec, f) for f in data.pop("tcp", ()))
+        background = tuple(
+            _from_mapping(BackgroundFlowSpec, f) for f in data.pop("background", ())
+        )
+        metrics = data.pop("metrics", None)
+        metrics = _from_mapping(MetricsSpec, metrics) if metrics is not None else MetricsSpec()
+        return _from_mapping(
+            ScenarioSpec,
+            {
+                **data,
+                "topology": topology,
+                "tfmcc": tfmcc,
+                "tcp": tcp,
+                "background": background,
+                "metrics": metrics,
+            },
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "ScenarioSpec":
+        return ScenarioSpec.from_dict(json.loads(text))
+
+    def with_overrides(self, **changes: Any) -> "ScenarioSpec":
+        """Return a copy with top-level fields replaced."""
+        return replace(self, **changes)

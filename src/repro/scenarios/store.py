@@ -1,0 +1,56 @@
+"""Append-only JSONL result store.
+
+Every sweep run is reduced to one JSON object per line.  Records are written
+with sorted keys and a canonical float representation (``json.dumps``
+defaults), so that the same sequence of records always produces byte-identical
+files — the property the determinism tests assert for serial vs parallel
+sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, Iterator, List
+
+
+def encode_record(record: Dict[str, Any]) -> str:
+    """Canonical single-line JSON encoding of one result record."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class ResultStore:
+    """Appends result records to a JSONL file and reads them back."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def append(self, record: Dict[str, Any]) -> None:
+        self.append_many([record])
+
+    def append_many(self, records: Iterable[Dict[str, Any]]) -> int:
+        """Append records in order; returns the number written."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        count = 0
+        with open(self.path, "a", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(encode_record(record) + "\n")
+                count += 1
+        return count
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    def read(self) -> List[Dict[str, Any]]:
+        """All records currently in the store."""
+        return list(self)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)

@@ -90,8 +90,13 @@ class TFMCCSession:
         receiver_id: Optional[str] = None,
         clock_offset: float = 0.0,
         config: Optional[TFMCCConfig] = None,
+        leave_at: Optional[float] = None,
     ) -> TFMCCReceiver:
-        """Create a receiver at ``node_id`` and join it to the group now."""
+        """Create a receiver at ``node_id`` and join it to the group now.
+
+        ``leave_at`` optionally schedules the receiver's departure at an
+        absolute simulation time.
+        """
         rid = receiver_id or f"{self.name}-rcv{next(self._receiver_counter)}"
         receiver = TFMCCReceiver(
             sim=self.sim,
@@ -106,6 +111,8 @@ class TFMCCSession:
         self.network.attach(node_id, receiver)
         self.group.join(node_id, receiver)
         self.receivers[rid] = receiver
+        if leave_at is not None:
+            self.remove_receiver_at(leave_at, rid)
         return receiver
 
     def add_receiver_at(
@@ -114,16 +121,24 @@ class TFMCCSession:
         node_id: str,
         receiver_id: Optional[str] = None,
         clock_offset: float = 0.0,
+        leave_at: Optional[float] = None,
     ) -> str:
         """Schedule a receiver join at simulation time ``time``.
 
         Returns the receiver id that will be used (the receiver object itself
         is created when the join happens; look it up in :attr:`receivers`).
+        ``leave_at`` optionally schedules the matching departure.
         """
+        if leave_at is not None and leave_at <= time:
+            raise ValueError(
+                f"leave_at ({leave_at}) must be after the join time ({time})"
+            )
         rid = receiver_id or f"{self.name}-rcv{next(self._receiver_counter)}"
         self.sim.schedule_at(
             time, lambda: self.add_receiver(node_id, receiver_id=rid, clock_offset=clock_offset)
         )
+        if leave_at is not None:
+            self.remove_receiver_at(leave_at, rid)
         return rid
 
     def remove_receiver(self, receiver_id: str) -> None:

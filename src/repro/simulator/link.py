@@ -1,17 +1,22 @@
-"""Unidirectional links with bandwidth, propagation delay and Bernoulli loss.
+"""Unidirectional links with bandwidth, propagation delay and random loss.
 
 A link models a store-and-forward output interface: packets wait in the
 attached queue while the link is busy serialising a previous packet, then take
 ``size * 8 / bandwidth`` seconds to transmit followed by ``delay`` seconds of
 propagation before arriving at the downstream node.
 
-Random (Bernoulli) loss is applied at enqueue time; it models lossy links in
-the paper's star topologies (e.g. Figure 11's 0.1 %-12.5 % loss links) without
-requiring the loss to come from queue overflow.
+Random loss is applied at enqueue time; it models lossy links in the paper's
+star topologies (e.g. Figure 11's 0.1 %-12.5 % loss links) without requiring
+the loss to come from queue overflow.  Two loss processes are available:
+
+* independent (Bernoulli) loss with a fixed ``loss_rate``, and
+* the two-state Gilbert-Elliott model (:class:`GilbertElliottLoss`), which
+  produces *bursty* loss as seen on wireless and deep-fading links.
 """
 
 from __future__ import annotations
 
+import random
 from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.simulator.packet import Packet
@@ -20,6 +25,66 @@ from repro.simulator.queues import DropTailQueue, PacketQueue, REDQueue
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.simulator.engine import Simulator
     from repro.simulator.node import Node
+
+
+class GilbertElliottLoss:
+    """Two-state Markov (Gilbert-Elliott) packet-loss process.
+
+    The channel alternates between a GOOD and a BAD state.  On every offered
+    packet the state first transitions (GOOD->BAD with probability
+    ``p_good_bad``, BAD->GOOD with probability ``p_bad_good``), then the
+    packet is dropped with the loss probability of the resulting state.
+
+    The classic Gilbert model is ``loss_good=0, loss_bad=1``; the expected
+    burst length is then ``1 / p_bad_good`` packets and the stationary loss
+    rate ``p_good_bad / (p_good_bad + p_bad_good)``.
+
+    Each link direction must own its *own* instance: the state is per-channel.
+    """
+
+    __slots__ = ("p_good_bad", "p_bad_good", "loss_good", "loss_bad", "bad")
+
+    def __init__(
+        self,
+        p_good_bad: float,
+        p_bad_good: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+        start_bad: bool = False,
+    ):
+        for name, p in (
+            ("p_good_bad", p_good_bad),
+            ("p_bad_good", p_bad_good),
+            ("loss_good", loss_good),
+            ("loss_bad", loss_bad),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self.p_good_bad = p_good_bad
+        self.p_bad_good = p_bad_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.bad = start_bad
+
+    @property
+    def stationary_loss_rate(self) -> float:
+        """Long-run average loss rate of the process."""
+        total = self.p_good_bad + self.p_bad_good
+        if total <= 0.0:
+            return self.loss_bad if self.bad else self.loss_good
+        pi_bad = self.p_good_bad / total
+        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+
+    def should_drop(self, rng: random.Random) -> bool:
+        """Advance the channel state by one packet and decide its fate."""
+        if self.bad:
+            if rng.random() < self.p_bad_good:
+                self.bad = False
+        else:
+            if rng.random() < self.p_good_bad:
+                self.bad = True
+        loss = self.loss_bad if self.bad else self.loss_good
+        return loss > 0.0 and rng.random() < loss
 
 
 class Link:
@@ -40,6 +105,10 @@ class Link:
         drop-tail queue as in the paper's ns-2 setups.
     loss_rate:
         Independent Bernoulli drop probability applied to every packet.
+    loss_model:
+        Optional stateful loss process (e.g. :class:`GilbertElliottLoss`)
+        consulted instead of ``loss_rate`` when set.  The instance must not
+        be shared between links.
     jitter:
         Maximum random per-packet processing delay in seconds, added to the
         serialisation time (uniformly distributed, FIFO order preserved).
@@ -60,6 +129,7 @@ class Link:
         loss_rate: float = 0.0,
         name: Optional[str] = None,
         jitter: float = 0.0,
+        loss_model: Optional[GilbertElliottLoss] = None,
     ):
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
@@ -73,6 +143,7 @@ class Link:
         self.bandwidth = bandwidth
         self.delay = delay
         self.loss_rate = loss_rate
+        self.loss_model = loss_model
         if jitter < 0:
             raise ValueError("jitter cannot be negative")
         self.jitter = jitter
@@ -95,7 +166,11 @@ class Link:
 
     def enqueue(self, packet: Packet) -> bool:
         """Offer a packet to the link.  Returns False if dropped."""
-        if self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate:
+        if self.loss_model is not None:
+            if self.loss_model.should_drop(self.sim.rng):
+                self.random_drops += 1
+                return False
+        elif self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate:
             self.random_drops += 1
             return False
         if self._busy:

@@ -1,0 +1,213 @@
+"""Background traffic sources: constant-bit-rate and on-off (bursty) senders.
+
+The paper's experiments compete TFMCC only against greedy TCP, but real
+multicast deployments share links with inelastic cross traffic (voice,
+conferencing video, telemetry).  :class:`CBRSource` sends fixed-size packets
+at a constant rate; :class:`OnOffSource` alternates exponentially (or
+deterministically) distributed ON bursts and OFF silences, the standard model
+for conferencing-style workloads.  Both are open-loop: they do not react to
+congestion, which is precisely what makes them useful as *background* load.
+
+A :class:`TrafficSink` terminates a background flow and records the delivered
+bytes in a :class:`~repro.simulator.monitor.ThroughputMonitor` so scenarios
+can report background goodput alongside TFMCC and TCP.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simulator.engine import EventHandle, Simulator
+from repro.simulator.monitor import ThroughputMonitor
+from repro.simulator.node import Agent
+from repro.simulator.packet import Packet, PacketType
+
+
+class TrafficSink(Agent):
+    """Terminates background flows; counts and optionally monitors bytes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        monitor: Optional[ThroughputMonitor] = None,
+    ):
+        super().__init__(sim, flow_id)
+        self.monitor = monitor
+        self.bytes_received = 0
+        self.packets_received = 0
+
+    def receive(self, packet: Packet) -> None:
+        self.bytes_received += packet.size
+        self.packets_received += 1
+        if self.monitor is not None:
+            self.monitor.record(self.flow_id, packet.size)
+
+
+class CBRSource(Agent):
+    """Constant-bit-rate sender: one ``packet_size`` packet every interval.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    flow_id:
+        Flow id shared with the matching :class:`TrafficSink`.
+    dst:
+        Destination node id.
+    rate_bps:
+        Sending rate in bits per second.
+    packet_size:
+        Packet size in bytes; the inter-packet gap is
+        ``packet_size * 8 / rate_bps`` seconds.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        dst: str,
+        rate_bps: float,
+        packet_size: int = 1000,
+    ):
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        if packet_size <= 0:
+            raise ValueError("packet_size must be positive")
+        super().__init__(sim, flow_id)
+        self.dst = dst
+        self.rate_bps = rate_bps
+        self.packet_size = packet_size
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self._seq = 0
+        self._running = False
+        self._next_send: Optional[EventHandle] = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    @property
+    def interval(self) -> float:
+        """Inter-packet gap in seconds."""
+        return self.packet_size * 8.0 / self.rate_bps
+
+    def start(self, at: float = 0.0) -> None:
+        """Begin sending at simulation time ``at``."""
+        self.sim.schedule_at(at, self._begin)
+
+    def stop(self, at: Optional[float] = None) -> None:
+        """Stop sending now, or at simulation time ``at``."""
+        if at is None:
+            self._halt()
+        else:
+            self.sim.schedule_at(at, self._halt)
+
+    def _begin(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._send_next()
+
+    def _halt(self) -> None:
+        self._running = False
+        if self._next_send is not None:
+            self._next_send.cancel()
+            self._next_send = None
+
+    # ------------------------------------------------------------ sending
+
+    def _send_next(self) -> None:
+        if not self._running:
+            return
+        self._emit_packet()
+        self._next_send = self.sim.schedule(self.interval, self._send_next)
+
+    def _emit_packet(self) -> None:
+        packet = Packet(
+            src=self.node_id,
+            dst=self.dst,
+            flow_id=self.flow_id,
+            size=self.packet_size,
+            ptype=PacketType.DATA,
+            seq=self._seq,
+        )
+        self._seq += 1
+        self.packets_sent += 1
+        self.bytes_sent += packet.size
+        self.send(packet)
+
+    def receive(self, packet: Packet) -> None:  # pragma: no cover - open loop
+        """Background sources ignore anything sent back to them."""
+
+
+class OnOffSource(CBRSource):
+    """On-off source: CBR bursts separated by silences.
+
+    While ON the source sends at ``rate_bps``; while OFF it is silent.  Burst
+    and silence lengths are drawn from exponential distributions with means
+    ``on_time`` and ``off_time`` (the classic interrupted Poisson model) or
+    are deterministic when ``exponential=False``.  Durations are drawn from
+    the simulator's seeded RNG, so runs stay reproducible.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: str,
+        dst: str,
+        rate_bps: float,
+        packet_size: int = 1000,
+        on_time: float = 1.0,
+        off_time: float = 1.0,
+        exponential: bool = True,
+    ):
+        if on_time <= 0 or off_time < 0:
+            raise ValueError("on_time must be positive and off_time non-negative")
+        super().__init__(sim, flow_id, dst, rate_bps, packet_size)
+        self.on_time = on_time
+        self.off_time = off_time
+        self.exponential = exponential
+        self._on = False
+        self._phase_switch: Optional[EventHandle] = None
+
+    def _duration(self, mean: float) -> float:
+        if mean <= 0.0:
+            return 0.0
+        if self.exponential:
+            return self.sim.rng.expovariate(1.0 / mean)
+        return mean
+
+    def _begin(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._enter_on()
+
+    def _halt(self) -> None:
+        super()._halt()
+        self._on = False
+        if self._phase_switch is not None:
+            self._phase_switch.cancel()
+            self._phase_switch = None
+
+    def _enter_on(self) -> None:
+        if not self._running:
+            return
+        self._on = True
+        self._send_next()
+        self._phase_switch = self.sim.schedule(self._duration(self.on_time), self._enter_off)
+
+    def _enter_off(self) -> None:
+        if not self._running:
+            return
+        self._on = False
+        if self._next_send is not None:
+            self._next_send.cancel()
+            self._next_send = None
+        self._phase_switch = self.sim.schedule(self._duration(self.off_time), self._enter_on)
+
+    def _send_next(self) -> None:
+        if not self._running or not self._on:
+            return
+        self._emit_packet()
+        self._next_send = self.sim.schedule(self.interval, self._send_next)

@@ -18,7 +18,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import networkx as nx
 
 from repro.simulator.engine import Simulator
-from repro.simulator.link import Link
+from repro.simulator.link import GilbertElliottLoss, Link
 from repro.simulator.node import Agent, Node
 from repro.simulator.queues import DropTailQueue, PacketQueue
 
@@ -67,13 +67,22 @@ class Network:
         loss_rate: float = 0.0,
         queue_factory: Optional[Callable[[], PacketQueue]] = None,
         jitter: float = 0.0,
+        loss_model: Optional[GilbertElliottLoss] = None,
     ) -> Link:
         """Add a unidirectional link from ``src`` to ``dst``."""
         src_node = self.add_node(src)
         dst_node = self.add_node(dst)
         queue = queue_factory() if queue_factory is not None else DropTailQueue(queue_limit)
         link = Link(
-            self.sim, src_node, dst_node, bandwidth, delay, queue, loss_rate, jitter=jitter
+            self.sim,
+            src_node,
+            dst_node,
+            bandwidth,
+            delay,
+            queue,
+            loss_rate,
+            jitter=jitter,
+            loss_model=loss_model,
         )
         src_node.add_link(link)
         self.links.append(link)
@@ -91,14 +100,25 @@ class Network:
         reverse_loss_rate: Optional[float] = None,
         queue_factory: Optional[Callable[[], PacketQueue]] = None,
         jitter: float = 0.0,
+        loss_model_factory: Optional[Callable[[], GilbertElliottLoss]] = None,
     ) -> Tuple[Link, Link]:
         """Add a bidirectional link (two unidirectional links) between a and b.
 
         ``reverse_loss_rate`` allows asymmetric loss (used by the lossy
         return-path experiment, Figure 19); it defaults to ``loss_rate``.
+        ``loss_model_factory`` builds one stateful loss process (e.g.
+        :class:`~repro.simulator.link.GilbertElliottLoss`) per direction.
         """
         forward = self.add_link(
-            a, b, bandwidth, delay, queue_limit, loss_rate, queue_factory, jitter
+            a,
+            b,
+            bandwidth,
+            delay,
+            queue_limit,
+            loss_rate,
+            queue_factory,
+            jitter,
+            loss_model_factory() if loss_model_factory is not None else None,
         )
         backward = self.add_link(
             b,
@@ -109,6 +129,7 @@ class Network:
             loss_rate if reverse_loss_rate is None else reverse_loss_rate,
             queue_factory,
             jitter,
+            loss_model_factory() if loss_model_factory is not None else None,
         )
         return forward, backward
 

@@ -1,0 +1,59 @@
+"""End-to-end smoke tests for the ``examples/`` scripts.
+
+Each script is executed as ``__main__`` (so the argparse plumbing is covered
+too) with ``--time-scale`` reducing the simulated durations to a few
+seconds.  The tests assert on the printed reports, not on exact numbers.
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(monkeypatch, capsys, script, time_scale):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    monkeypatch.setattr(sys, "argv", [path, "--time-scale", str(time_scale)])
+    runpy.run_path(path, run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart_example(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "quickstart.py", 0.15)
+    assert "Final sending rate:" in out
+    assert "receiver" in out
+    assert out.count("tfmcc") >= 3  # three receiver rows
+
+
+def test_heterogeneous_receivers_example(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "heterogeneous_receivers.py", 0.1)
+    assert "Delivered rate at the office receiver" in out
+    assert "Mobile receiver goodput while joined:" in out
+    assert "CLR over time" in out
+
+
+def test_video_stream_vs_tcp_example(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "video_stream_vs_tcp.py", 0.1)
+    assert "Multicast video stream (TFMCC):" in out
+    assert "Jain fairness index over all flows:" in out
+    assert "TFMCC / mean TCP ratio:" in out
+
+
+def test_bursty_vs_uniform_loss_example(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "bursty_vs_uniform_loss.py", 0.1)
+    assert "scenario : bursty-loss" in out
+    assert "burst=  1 pkts" in out
+    assert "burst=  8 pkts" in out
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "heterogeneous_receivers.py", "video_stream_vs_tcp.py", "bursty_vs_uniform_loss.py"],
+)
+def test_examples_have_time_scale_flag(script):
+    with open(os.path.join(EXAMPLES_DIR, script)) as fh:
+        source = fh.read()
+    assert "--time-scale" in source

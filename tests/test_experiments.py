@@ -172,3 +172,26 @@ def test_scale_helpers():
         scaled("bogus")
     assert PAPER.bandwidth(8e6) == 8e6
     assert QUICK.receivers(16) >= 1
+
+
+def test_duration_floor_warns_when_it_binds():
+    import warnings
+
+    scale = ExperimentScale(name="micro", time_factor=0.01)
+    with pytest.warns(RuntimeWarning, match="below"):
+        assert scale.duration(100.0) == 10.0  # floored, with a warning
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # no warning when the floor is slack
+        assert scale.duration(2000.0) == 20.0
+
+
+def test_duration_floor_is_configurable():
+    import warnings
+
+    no_floor = ExperimentScale(name="nofloor", time_factor=0.01, min_duration=0.0)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert no_floor.duration(100.0) == pytest.approx(1.0)
+    high_floor = ExperimentScale(name="hifloor", time_factor=1.0, min_duration=60.0)
+    with pytest.warns(RuntimeWarning):
+        assert high_floor.duration(30.0) == 60.0

@@ -1,0 +1,397 @@
+"""Tests for the declarative scenario subsystem.
+
+Covers the spec family (JSON round-trips, validation), the builders (all
+topology kinds, membership schedules, background traffic), the named
+registry, and the Gilbert-Elliott loss model / background sources the
+scenarios rely on.
+"""
+
+import random
+
+import pytest
+
+from repro.scenarios import (
+    BackgroundFlowSpec,
+    ChainSpec,
+    CustomSpec,
+    DuplexLinkSpec,
+    EdgeSpec,
+    GilbertElliottSpec,
+    ImpairmentSpec,
+    MetricsSpec,
+    ReceiverSpec,
+    ScenarioSpec,
+    StarSpec,
+    TcpFlowSpec,
+    TfmccFlowSpec,
+    build_scenario,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+    scenarios,
+)
+from repro.scenarios.registry import gilbert_elliott_from_burst
+from repro.simulator.engine import Simulator
+from repro.simulator.link import GilbertElliottLoss
+from repro.simulator.sources import CBRSource, OnOffSource, TrafficSink
+from repro.simulator.topology import Network
+
+
+TINY_KW = {"duration": 5.0}
+
+
+# ----------------------------------------------------------------- spec layer
+
+
+def test_spec_json_round_trip_all_topologies():
+    ge = GilbertElliottSpec(p_good_bad=0.01, p_bad_good=0.2)
+    specs = [
+        get_scenario("fairness").spec(num_tcp=2),
+        get_scenario("late-join").spec(),
+        ScenarioSpec(
+            name="star-test",
+            duration=10.0,
+            topology=StarSpec(
+                leaves=(
+                    EdgeSpec(bandwidth=1e6, delay=0.01),
+                    EdgeSpec(
+                        bandwidth=2e6,
+                        delay=0.02,
+                        impairment=ImpairmentSpec(gilbert_elliott=ge),
+                    ),
+                ),
+            ),
+            tfmcc=(TfmccFlowSpec(sender_node="source", receivers=(ReceiverSpec(node="leaf0"),)),),
+        ),
+        ScenarioSpec(
+            name="chain-test",
+            duration=10.0,
+            topology=ChainSpec(
+                hops=(EdgeSpec(bandwidth=1e6, delay=0.01), EdgeSpec(bandwidth=5e5, delay=0.02)),
+            ),
+            tfmcc=(TfmccFlowSpec(sender_node="n0", receivers=(ReceiverSpec(node="n2"),)),),
+        ),
+        ScenarioSpec(
+            name="custom-test",
+            duration=10.0,
+            topology=CustomSpec(
+                extra_links=(DuplexLinkSpec("a", "b", 1e6, 0.01),),
+            ),
+            background=(BackgroundFlowSpec(flow_id="bg", src="a", dst="b", rate_bps=1e5),),
+        ),
+    ]
+    for spec in specs:
+        round_tripped = ScenarioSpec.from_json(spec.to_json())
+        assert round_tripped == spec, spec.name
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        ScenarioSpec(name="empty", duration=10.0, topology=CustomSpec())  # no traffic
+    with pytest.raises(ValueError):
+        get_scenario("fairness").spec(num_tcp=2).with_overrides(duration=-1.0)
+    with pytest.raises(ValueError):
+        BackgroundFlowSpec(flow_id="x", src="a", dst="b", rate_bps=1e5, kind="bogus")
+    with pytest.raises(ValueError):
+        ScenarioSpec.from_dict(
+            {"name": "x", "duration": 1.0, "topology": {"kind": "moebius"}}
+        )
+
+
+def test_receiver_spec_rejects_leave_before_join():
+    with pytest.raises(ValueError, match="leave_at"):
+        ReceiverSpec(node="dst0", join_at=30.0, leave_at=20.0)
+    from repro.session import TFMCCSession
+    from repro.simulator.topology import Network as Net
+
+    sim = Simulator(seed=1)
+    net = Net.dumbbell(sim, 1, 1, 1e6, 0.01, 10e6, 0.001)
+    session = TFMCCSession(sim, net, sender_node="src0")
+    with pytest.raises(ValueError, match="leave_at"):
+        session.add_receiver_at(30.0, "dst0", leave_at=20.0)
+
+
+def test_background_traffic_with_zero_fraction_runs():
+    spec = get_scenario("background-traffic").spec(bg_fraction=0.0, duration=4.0)
+    assert spec.background == ()
+    record = run_scenario(spec, seed=1)
+    assert record["tfmcc_mean_bps"] > 0
+
+
+def test_spec_from_dict_rejects_unknown_fields():
+    spec = get_scenario("fairness").spec(num_tcp=2)
+    data = spec.to_dict()
+    data["metrics"]["frobnicate"] = True
+    with pytest.raises(ValueError, match="frobnicate"):
+        ScenarioSpec.from_dict(data)
+
+
+# ------------------------------------------------------------------ registry
+
+
+def test_registry_contains_paper_and_new_scenarios():
+    names = scenario_names()
+    for expected in (
+        "fairness",
+        "individual-bottlenecks",
+        "scaling",
+        "late-join",
+        "responsiveness",
+        "bursty-loss",
+        "background-traffic",
+        "flash-crowd",
+    ):
+        assert expected in names
+    assert len(scenarios()) == len(names)
+
+
+def test_registry_unknown_name_and_param():
+    with pytest.raises(KeyError, match="available"):
+        get_scenario("nope")
+    with pytest.raises(ValueError, match="unknown parameters"):
+        get_scenario("fairness").spec(bogus_param=1)
+
+
+def test_every_registered_scenario_builds_and_runs():
+    for factory in scenarios():
+        spec = factory.spec().with_overrides(duration=4.0)
+        record = run_scenario(spec, seed=1)
+        assert record["scenario"] == spec.name
+        assert record["events"] > 0
+        assert record["flows"], spec.name
+
+
+# ------------------------------------------------------------------ builders
+
+
+def test_build_fairness_scenario_topology_and_flows():
+    spec = get_scenario("fairness").spec(num_tcp=3, **TINY_KW)
+    built = build_scenario(spec, seed=1)
+    # Dumbbell nodes exist and the session has its receiver.
+    for node in ("src0", "dst0", "router_left", "router_right", "src3", "dst3"):
+        assert node in built.network.nodes
+    assert built.receiver_ids == [["tfmcc0-rcv0"]]
+    built.run()
+    record = built.collect()
+    kinds = {f["kind"] for f in record["flows"]}
+    assert kinds == {"tfmcc", "tcp"}
+    assert record["tfmcc_mean_bps"] > 0
+    assert record["tcp_mean_bps"] > 0
+
+
+def test_chain_topology_runs_traffic_end_to_end():
+    spec = ScenarioSpec(
+        name="chain-test",
+        duration=6.0,
+        topology=ChainSpec(
+            hops=(EdgeSpec(bandwidth=2e6, delay=0.005), EdgeSpec(bandwidth=1e6, delay=0.01)),
+        ),
+        tfmcc=(TfmccFlowSpec(sender_node="n0", receivers=(ReceiverSpec(node="n2"),)),),
+        metrics=MetricsSpec(warmup_fraction=0.3),
+    )
+    record = run_scenario(spec, seed=4)
+    assert record["tfmcc_mean_bps"] > 0
+
+
+def test_membership_schedule_join_and_leave():
+    spec = get_scenario("flash-crowd").spec(
+        num_receivers=3, join_at=2.0, join_spread=0.5, duration=6.0
+    )
+    built = build_scenario(spec, seed=5)
+    session = built.sessions[0]
+    assert len(session.receivers) == 1  # only rcv0 before the crowd arrives
+    built.run()
+    assert len(session.receivers) == 4
+    assert built.receiver_ids[0][0] == "rcv0"
+    assert built.receiver_ids[0][1] == "crowd0"
+
+
+def test_explicit_zero_jitter_is_honoured():
+    spec = ScenarioSpec(
+        name="jitter-test",
+        duration=5.0,
+        topology=StarSpec(
+            leaves=(
+                EdgeSpec(bandwidth=1e6, delay=0.01),  # jitter unset -> default
+                EdgeSpec(bandwidth=1e6, delay=0.01, impairment=ImpairmentSpec(jitter=0.0)),
+            ),
+        ),
+        tfmcc=(TfmccFlowSpec(sender_node="source", receivers=(ReceiverSpec(node="leaf0"),)),),
+    )
+    built = build_scenario(spec, seed=1)
+    assert built.network.link_between("leaf0", "hub").jitter > 0.0
+    assert built.network.link_between("leaf1", "hub").jitter == 0.0
+
+
+def test_join_at_is_honoured_when_sender_starts_late():
+    spec = ScenarioSpec(
+        name="late-start-test",
+        duration=8.0,
+        topology=StarSpec(leaves=(EdgeSpec(bandwidth=1e6, delay=0.01),) * 2),
+        tfmcc=(
+            TfmccFlowSpec(
+                sender_node="source",
+                start=4.0,
+                receivers=(
+                    ReceiverSpec(node="leaf0"),
+                    ReceiverSpec(node="leaf1", receiver_id="later", join_at=2.0),
+                ),
+            ),
+        ),
+    )
+    built = build_scenario(spec, seed=1)
+    session = built.sessions[0]
+    assert len(session.receivers) == 1  # join_at=2.0 is scheduled, not immediate
+    built.sim.run(until=3.0)
+    assert "later" in session.receivers  # joined at its declared time
+
+
+def test_background_traffic_scenario_delivers_background_bytes():
+    spec = get_scenario("background-traffic").spec(duration=6.0, bg_fraction=0.4)
+    built = build_scenario(spec, seed=6)
+    built.run()
+    record = built.collect()
+    bg_flows = [f for f in record["flows"] if f["kind"] == "background"]
+    assert bg_flows and all(f["avg_bps"] > 0 for f in bg_flows)
+    for _source, sink in built.background.values():
+        assert sink.bytes_received > 0
+
+
+def test_with_series_metric():
+    spec = get_scenario("fairness").spec(num_tcp=2, with_series=True, **TINY_KW)
+    record = run_scenario(spec, seed=2)
+    assert "series" in record
+    assert "tfmcc0-rcv0" in record["series"]
+    assert len(record["series"]["tfmcc0-rcv0"]) >= 4
+
+
+# --------------------------------------------------------- Gilbert-Elliott
+
+
+def test_gilbert_elliott_validation_and_stationary_rate():
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(p_good_bad=1.5, p_bad_good=0.1)
+    ge = GilbertElliottLoss(p_good_bad=0.02, p_bad_good=0.18)
+    assert ge.stationary_loss_rate == pytest.approx(0.1)
+    spec = gilbert_elliott_from_burst(loss_rate=0.05, burst_length=10.0)
+    assert spec.stationary_loss_rate == pytest.approx(0.05)
+    with pytest.raises(ValueError):
+        gilbert_elliott_from_burst(loss_rate=0.0, burst_length=4.0)
+    with pytest.raises(ValueError):
+        gilbert_elliott_from_burst(loss_rate=0.1, burst_length=0.5)
+
+
+def test_gilbert_elliott_losses_are_bursty():
+    """Same average loss rate, very different clustering."""
+    rng = random.Random(99)
+    spec = gilbert_elliott_from_burst(loss_rate=0.05, burst_length=10.0)
+    ge = GilbertElliottLoss(spec.p_good_bad, spec.p_bad_good)
+    n = 200_000
+    drops = [ge.should_drop(rng) for _ in range(n)]
+    rate = sum(drops) / n
+    assert 0.03 < rate < 0.07  # matches the configured average
+
+    # Mean length of consecutive-drop runs: ~1 for Bernoulli, ~burst here.
+    runs, current = [], 0
+    for d in drops:
+        if d:
+            current += 1
+        elif current:
+            runs.append(current)
+            current = 0
+    mean_burst = sum(runs) / len(runs)
+    assert mean_burst > 4.0
+
+
+def test_link_uses_gilbert_elliott_model():
+    sim = Simulator(seed=3)
+    net = Network(sim)
+    net.add_duplex_link(
+        "a",
+        "b",
+        1e6,
+        0.01,
+        loss_model_factory=lambda: GilbertElliottLoss(0.05, 0.2),
+    )
+    net.build_routes()
+    forward = net.link_between("a", "b")
+    backward = net.link_between("b", "a")
+    assert forward.loss_model is not backward.loss_model  # independent state
+
+    source = CBRSource(sim, "cbr", "b", rate_bps=4e5, packet_size=500)
+    sink = TrafficSink(sim, "cbr")
+    net.attach("a", source)
+    net.attach("b", sink)
+    source.start(0.0)
+    sim.run(until=20.0)
+    assert forward.random_drops > 0
+    # All sent packets are either delivered, dropped by the loss model, or
+    # still in flight / queued when the simulation stops.
+    in_flight = source.packets_sent - sink.packets_received - forward.random_drops
+    assert 0 <= in_flight <= forward.queue_length + 2
+
+
+# ----------------------------------------------------------------- sources
+
+
+def _two_node_net(sim):
+    net = Network(sim)
+    net.add_duplex_link("a", "b", 10e6, 0.001)
+    net.build_routes()
+    return net
+
+
+def test_cbr_source_rate_and_stop():
+    sim = Simulator(seed=1)
+    net = _two_node_net(sim)
+    source = CBRSource(sim, "cbr", "b", rate_bps=8e5, packet_size=1000)
+    sink = TrafficSink(sim, "cbr")
+    net.attach("a", source)
+    net.attach("b", sink)
+    source.start(1.0)
+    source.stop(6.0)
+    sim.run(until=10.0)
+    # 800 kbit/s for 5 s = 500 kB = 500 packets (plus the t=6.0 edge packet).
+    assert source.packets_sent == pytest.approx(500, abs=2)
+    assert sink.bytes_received == source.bytes_sent  # lossless link
+    with pytest.raises(ValueError):
+        CBRSource(sim, "bad", "b", rate_bps=0.0)
+
+
+def test_onoff_source_duty_cycle():
+    sim = Simulator(seed=2)
+    net = _two_node_net(sim)
+    source = OnOffSource(
+        sim,
+        "onoff",
+        "b",
+        rate_bps=8e5,
+        packet_size=1000,
+        on_time=1.0,
+        off_time=1.0,
+        exponential=False,
+    )
+    sink = TrafficSink(sim, "onoff")
+    net.attach("a", source)
+    net.attach("b", sink)
+    source.start(0.0)
+    sim.run(until=20.0)
+    # 50 % duty cycle: about half the bytes a pure CBR source would send.
+    expected = 8e5 / 8.0 * 20.0 * 0.5
+    assert sink.bytes_received == pytest.approx(expected, rel=0.1)
+
+
+def test_onoff_exponential_is_seed_deterministic():
+    def run(seed):
+        sim = Simulator(seed=seed)
+        net = _two_node_net(sim)
+        source = OnOffSource(sim, "onoff", "b", rate_bps=4e5, on_time=0.5, off_time=0.5)
+        sink = TrafficSink(sim, "onoff")
+        net.attach("a", source)
+        net.attach("b", sink)
+        source.start(0.0)
+        sim.run(until=15.0)
+        return sink.bytes_received
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)

@@ -1,0 +1,189 @@
+"""Tests for the sweep runner, the JSONL store and the ``python -m repro`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.scenarios import (
+    ResultStore,
+    SweepRunner,
+    execute_run,
+    expand_grid,
+    get_scenario,
+)
+from repro.scenarios.sweep import SweepRun
+
+TINY = {"duration": 4.0, "num_tcp": 2}
+
+
+# -------------------------------------------------------------------- store
+
+
+def test_result_store_append_and_read(tmp_path):
+    store = ResultStore(str(tmp_path / "sub" / "results.jsonl"))
+    assert store.read() == []
+    store.append({"b": 1, "a": 2})
+    store.append_many([{"x": [1, 2]}, {"y": None}])
+    assert len(store) == 3
+    records = store.read()
+    assert records[0] == {"a": 2, "b": 1}
+    # Keys are sorted on disk for canonical output.
+    first_line = (tmp_path / "sub" / "results.jsonl").read_text().splitlines()[0]
+    assert first_line == '{"a":2,"b":1}'
+
+
+# -------------------------------------------------------------------- sweep
+
+
+def test_expand_grid():
+    assert expand_grid({}) == [{}]
+    combos = expand_grid({"a": [1, 2], "b": ["x"]})
+    assert combos == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+
+
+def test_sweep_runs_enumeration_and_seeds():
+    runner = SweepRunner(
+        "fairness",
+        grid={"num_tcp": [2, 3]},
+        params={"duration": 4.0},
+        replications=2,
+        base_seed=10,
+    )
+    runs = runner.runs()
+    assert [r.seed for r in runs] == [10, 11, 12, 13]
+    assert [r.params["num_tcp"] for r in runs] == [2, 2, 3, 3]
+    assert all(r.params["duration"] == 4.0 for r in runs)
+
+
+def test_sweep_rejects_bad_arguments():
+    with pytest.raises(KeyError):
+        SweepRunner("no-such-scenario")
+    with pytest.raises(ValueError):
+        SweepRunner("fairness", replications=0)
+    with pytest.raises(ValueError):
+        SweepRunner("fairness", jobs=0)
+    spec = get_scenario("fairness").spec(**TINY)
+    with pytest.raises(ValueError):
+        SweepRunner(spec, grid={"num_tcp": [1]})
+
+
+def test_sweep_over_concrete_spec():
+    spec = get_scenario("fairness").spec(**TINY)
+    records = SweepRunner(spec, replications=2, base_seed=3).execute()
+    assert len(records) == 2
+    assert [r["seed"] for r in records] == [3, 4]
+    assert records[0]["run"]["scenario"] == "fairness"
+
+
+def test_execute_run_is_reproducible():
+    run = SweepRun(index=0, seed=9, params=dict(TINY), scenario="fairness")
+    a = execute_run(run)
+    b = execute_run(run)
+    assert a == b
+    assert a["tfmcc_mean_bps"] > 0
+
+
+def test_serial_and_parallel_sweeps_are_bit_identical(tmp_path):
+    """The ISSUE acceptance property: JSONL output must not depend on how
+    many worker processes executed the sweep."""
+    serial = tmp_path / "serial.jsonl"
+    parallel = tmp_path / "parallel.jsonl"
+    kwargs = dict(params=dict(TINY), replications=3, base_seed=2)
+    SweepRunner("fairness", jobs=1, **kwargs).execute(store=ResultStore(str(serial)))
+    SweepRunner("fairness", jobs=2, **kwargs).execute(store=ResultStore(str(parallel)))
+    serial_bytes = serial.read_bytes()
+    assert serial_bytes == parallel.read_bytes()
+    assert serial_bytes.count(b"\n") == 3
+    for line in serial.read_text().splitlines():
+        record = json.loads(line)  # every line is valid JSON
+        assert record["scenario"] == "fairness"
+        assert record["run"]["params"]["num_tcp"] == 2
+
+
+# ---------------------------------------------------------------------- CLI
+
+
+def test_cli_list(capsys):
+    assert cli_main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fairness" in out
+    assert "bursty-loss" in out
+    assert "parameters:" in out
+
+
+def test_cli_show_round_trips(capsys):
+    assert cli_main(["show", "late-join", "--set", "num_tcp=3"]) == 0
+    from repro.scenarios import ScenarioSpec
+
+    spec = ScenarioSpec.from_json(capsys.readouterr().out)
+    assert spec.name == "late-join"
+    assert len(spec.tcp) == 3
+
+
+def test_cli_run_json_and_out(tmp_path, capsys):
+    out_file = tmp_path / "run.jsonl"
+    rc = cli_main(
+        [
+            "run",
+            "fairness",
+            "--seed",
+            "4",
+            "--set",
+            "duration=4.0",
+            "--set",
+            "num_tcp=2",
+            "--json",
+            "--out",
+            str(out_file),
+        ]
+    )
+    assert rc == 0
+    printed = json.loads(capsys.readouterr().out)
+    stored = json.loads(out_file.read_text())
+    assert printed == stored
+    assert stored["seed"] == 4
+    assert stored["run"]["params"]["duration"] == 4.0
+
+
+def test_cli_run_summary(capsys):
+    rc = cli_main(["run", "scaling", "--set", "duration=4.0", "--set", "num_receivers=2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "scenario : scaling" in out
+    assert "kbit/s" in out
+
+
+def test_cli_sweep_writes_jsonl(tmp_path, capsys):
+    out_file = tmp_path / "sweep.jsonl"
+    rc = cli_main(
+        [
+            "sweep",
+            "fairness",
+            "--jobs",
+            "2",
+            "--reps",
+            "2",
+            "--grid",
+            "num_tcp=2,3",
+            "--set",
+            "duration=4.0",
+            "--out",
+            str(out_file),
+            "--quiet",
+        ]
+    )
+    assert rc == 0
+    lines = out_file.read_text().splitlines()
+    assert len(lines) == 4  # 2 grid points x 2 replications
+    records = [json.loads(line) for line in lines]
+    assert [r["run"]["index"] for r in records] == [0, 1, 2, 3]
+    assert {r["run"]["params"]["num_tcp"] for r in records} == {2, 3}
+
+
+def test_cli_error_handling(capsys):
+    assert cli_main(["run", "no-such-scenario"]) == 2
+    assert "error:" in capsys.readouterr().err
+    assert cli_main(["run", "fairness", "--set", "bogus=1"]) == 2
+    with pytest.raises(SystemExit):
+        cli_main(["run", "fairness", "--set", "notanassignment"])
