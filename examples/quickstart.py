@@ -9,6 +9,7 @@ Run with:  python examples/quickstart.py [--time-scale 0.1]
 """
 
 import argparse
+import time
 
 from repro import Network, Simulator, TFMCCConfig, TFMCCSession, ThroughputMonitor
 
@@ -32,9 +33,14 @@ def main(time_scale: float = 1.0) -> None:
     session.start(at=0.0)
 
     duration = 60.0 * time_scale
+    started = time.perf_counter()
     sim.run(until=duration)
+    wall = time.perf_counter() - started
 
-    print(f"Simulated {duration:.0f} s, {sim.events_processed} events")
+    print(
+        f"Simulated {duration:.0f} s, {sim.events_processed} events in "
+        f"{wall:.2f} s wall time ({sim.events_processed / max(wall, 1e-9):,.0f} events/s)"
+    )
     print(f"Final sending rate: {session.sender.current_rate_bps / 1e3:.1f} kbit/s")
     print(f"Current limiting receiver: {session.sender.clr_id}")
     exited = session.sender.slowstart_exited_at

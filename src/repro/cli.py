@@ -27,6 +27,7 @@ import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.bench import DEFAULT_OUT_DIR as BENCH_OUT_DIR, DEFAULT_THRESHOLD as BENCH_THRESHOLD
 from repro.scenarios.registry import get_scenario, scenarios
 from repro.scenarios.build import run_scenario
 from repro.scenarios.store import ResultStore, encode_record
@@ -173,6 +174,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    if args.list:
+        for name in sorted(bench.WORKLOADS):
+            print(name)
+        return 0
+    try:
+        _results, failures = bench.run_bench(
+            names=args.workload or None,
+            quick=args.quick,
+            out_dir=args.out,
+            baseline_dir=args.baseline,
+            check=args.check,
+            threshold=args.threshold,
+        )
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if failures:
+        for failure in failures:
+            print(f"bench check failed: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -214,6 +241,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--out", help="JSONL output path (default results/<scenario>-sweep.jsonl)")
     p_sweep.add_argument("--quiet", action="store_true", help="suppress per-run progress")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_bench = sub.add_parser(
+        "bench", help="run pinned-seed performance benchmarks (BENCH_*.json)"
+    )
+    p_bench.add_argument(
+        "workload", nargs="*", help="workload names (default: all; see --list)"
+    )
+    p_bench.add_argument("--list", action="store_true", help="list available workloads")
+    p_bench.add_argument(
+        "--quick", action="store_true", help="short CI-sized variants of each workload"
+    )
+    p_bench.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) on events/sec regression against the committed baseline",
+    )
+    p_bench.add_argument(
+        "--out",
+        default=BENCH_OUT_DIR,
+        help=f"directory for BENCH_<name>.json (default {BENCH_OUT_DIR})",
+    )
+    p_bench.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline directory (default benchmarks/perf/baseline/<quick|full>)",
+    )
+    p_bench.add_argument(
+        "--threshold",
+        type=float,
+        default=BENCH_THRESHOLD,
+        help="allowed fractional events/sec drop before --check fails "
+        f"(default {BENCH_THRESHOLD})",
+    )
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class DataHeader:
     """Header of a TFMCC multicast data packet."""
 
@@ -42,7 +42,7 @@ class DataHeader:
     fb_has_loss: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class FeedbackHeader:
     """Header of a TFMCC receiver report (unicast to the sender)."""
 

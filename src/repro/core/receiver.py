@@ -121,8 +121,10 @@ class TFMCCReceiver(Agent):
         self._history_seeded_with_initial_rtt = False
         self._history_rescaled = False
 
-        # Receive-rate measurement.
+        # Receive-rate measurement over a sliding window; the byte total is
+        # maintained incrementally so the hot path never re-sums the window.
         self._arrivals: Deque[Tuple[float, int]] = deque(maxlen=RECEIVE_RATE_WINDOW)
+        self._arrival_bytes = 0
 
         # Feedback state.
         self._feedback_timer: Optional[EventHandle] = None
@@ -148,18 +150,18 @@ class TFMCCReceiver(Agent):
 
     def receive_rate(self) -> float:
         """Receive rate in bytes/s measured over the recent arrival window."""
-        if len(self._arrivals) < 2:
+        arrivals = self._arrivals
+        if len(arrivals) < 2:
             if self.current_send_rate > 0:
                 return self.current_send_rate
             return 0.0
-        t_first, _ = self._arrivals[0]
+        t_first, first_size = arrivals[0]
         duration = self.sim.now - t_first
         if duration <= 0:
             return self.current_send_rate
-        total = sum(size for _t, size in self._arrivals)
         # The first packet's bytes "opened" the window; exclude them so the
         # rate is bytes transferred per elapsed time.
-        total -= self._arrivals[0][1]
+        total = self._arrival_bytes - first_size
         return max(total / duration, 0.0)
 
     def calculated_rate(self) -> float:
@@ -184,47 +186,60 @@ class TFMCCReceiver(Agent):
         if not isinstance(header, DataHeader):
             return
         now = self.sim.now
+        size = packet.size
+        timestamp = header.timestamp
+        receiver_id = self.receiver_id
+        rtt = self.rtt
         self.packets_received += 1
-        self.bytes_received += packet.size
+        self.bytes_received += size
         if self.monitor is not None:
-            self.monitor.record(self.receiver_id, packet.size)
-        self._arrivals.append((now, packet.size))
-        self._last_data_timestamp = header.timestamp
+            self.monitor.record(receiver_id, size)
+        arrivals = self._arrivals
+        if len(arrivals) == RECEIVE_RATE_WINDOW:
+            # deque(maxlen) is about to evict the oldest entry.
+            self._arrival_bytes -= arrivals[0][1]
+        arrivals.append((now, size))
+        self._arrival_bytes += size
+        self._last_data_timestamp = timestamp
         self._last_data_arrival = now
 
         # --- session state from the header
         self.current_send_rate = header.send_rate
         self.sender_slowstart = header.is_slowstart
         self.max_rtt = header.max_rtt
-        was_clr = self.is_clr
-        self.is_clr = header.clr_id == self.receiver_id
-        if self.is_clr != was_clr:
-            self.rtt.set_is_clr(self.is_clr)
+        is_clr = header.clr_id == receiver_id
+        if is_clr != self.is_clr:
+            self.is_clr = is_clr
+            rtt.set_is_clr(is_clr)
 
         # --- RTT measurement / adjustment
-        rate_before_loss = self.receive_rate()
-        if header.echo_receiver_id == self.receiver_id:
-            self.rtt.update_from_echo(now, header.echo_timestamp, header.echo_delay)
-            self.rtt.record_one_way_reference(header.timestamp, now)
+        if header.echo_receiver_id == receiver_id:
+            rtt.update_from_echo(now, header.echo_timestamp, header.echo_delay)
+            rtt.record_one_way_reference(timestamp, now)
             self._maybe_rescale_history()
         else:
-            self.rtt.adjust_from_one_way_delay(header.timestamp, now)
-        self.detector.update_rtt(self.rtt.rtt)
+            rtt.adjust_from_one_way_delay(timestamp, now)
+        self.detector.update_rtt(rtt.rtt)
 
-        # --- loss detection
-        had_loss_before = self.history.has_loss
-        new_loss_events = self.detector.on_packet(header.seq, header.timestamp)
+        # --- loss detection.  The rate seeding the loss history is computed
+        # only when the first loss event actually occurs; neither the RTT
+        # update nor the detector touches the arrival window, so the value
+        # matches what a per-packet snapshot would have produced.
+        history = self.history
+        had_loss_before = history.has_loss
+        new_loss_events = self.detector.on_packet(header.seq, timestamp)
         if new_loss_events > 0 and not had_loss_before:
-            self._seed_loss_history(rate_before_loss)
+            self._seed_loss_history(self.receive_rate())
 
         # --- feedback round handling
         if header.round_id != self.current_round:
             self._start_round(header.round_id)
-        self._process_suppression_echo(header)
+        if self._feedback_timer is not None:
+            self._process_suppression_echo(header)
 
         # --- CLR immediate feedback
-        if self.is_clr:
-            interval = self.config.sender_report_interval_rtts * self.rtt.rtt
+        if is_clr:
+            interval = self.config.sender_report_interval_rtts * rtt.rtt
             if now - self._last_clr_feedback_time >= interval:
                 self._send_feedback(immediate=True)
 

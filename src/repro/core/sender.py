@@ -22,8 +22,9 @@ from receiver reports:
 
 from __future__ import annotations
 
+import heapq
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.config import TFMCCConfig
@@ -130,8 +131,11 @@ class TFMCCSender(Agent):
         # Slowstart bookkeeping: minimum receive rate reported this round.
         self._slowstart_min_receive: Optional[float] = None
 
-        # Echo scheduling.
-        self._echo_queue: List[_EchoRequest] = []
+        # Echo scheduling: a heap ordered by (priority, reported rate,
+        # arrival order) — equivalent to the stable sort-and-pop it replaces,
+        # without re-sorting on every data packet.
+        self._echo_queue: List[tuple] = []
+        self._echo_count = 0
         self._clr_echo: Optional[_EchoRequest] = None
 
         # Receiver knowledge.
@@ -233,7 +237,10 @@ class TFMCCSender(Agent):
         self._transmit_data_packet()
         self._adjust_rate_towards_target(interval)
         self._check_clr_timeout()
-        self._send_timer = self.sim.schedule(self._packet_interval(), self._send_next_packet)
+        # Recurring-timer fast path: the fired handle is reused in place.
+        self._send_timer = self.sim.reschedule(
+            self._send_timer, self._packet_interval(), self._send_next_packet
+        )
 
     def _transmit_data_packet(self) -> None:
         echo = self._pop_echo()
@@ -273,8 +280,7 @@ class TFMCCSender(Agent):
     def _pop_echo(self) -> Optional[_EchoRequest]:
         """Pick the highest-priority pending echo (ties: lowest reported rate)."""
         if self._echo_queue:
-            self._echo_queue.sort(key=lambda e: (e.priority, e.reported_rate))
-            return self._echo_queue.pop(0)
+            return heapq.heappop(self._echo_queue)[3]
         return self._clr_echo
 
     # ------------------------------------------------------------ feedback rounds
@@ -285,9 +291,10 @@ class TFMCCSender(Agent):
         return delay + self.config.max_rtt
 
     def _schedule_round_end(self) -> None:
-        if self._round_timer is not None:
-            self._round_timer.cancel()
-        self._round_timer = self.sim.schedule(self._round_duration(), self._end_round)
+        # reschedule() cancels a still-pending timer and reuses a fired one.
+        self._round_timer = self.sim.reschedule(
+            self._round_timer, self._round_duration(), self._end_round
+        )
 
     def _end_round(self) -> None:
         if not self.running:
@@ -489,4 +496,6 @@ class TFMCCSender(Agent):
             # The CLR's last report fills any data packet without a pending echo.
             self._clr_echo = request
         if priority != PRIORITY_CLR:
-            self._echo_queue.append(request)
+            count = self._echo_count
+            self._echo_count = count + 1
+            heapq.heappush(self._echo_queue, (priority, rate, count, request))

@@ -59,9 +59,32 @@ class SweepRun:
         return get_scenario(self.scenario).spec(**self.params)
 
 
+# Specs are immutable, so replications of the same grid point can share one
+# resolved spec per process (and, through the builder's route cache, the
+# routing computation for its topology).
+_SPEC_MEMO: Dict[Any, ScenarioSpec] = {}
+_SPEC_MEMO_LIMIT = 256
+
+
+def _resolve_spec_cached(run: "SweepRun") -> ScenarioSpec:
+    if run.scenario is None:
+        return run.resolve_spec()
+    try:
+        key = (run.scenario, tuple(sorted(run.params.items())))
+        spec = _SPEC_MEMO.get(key)
+        if spec is None:
+            spec = run.resolve_spec()
+            if len(_SPEC_MEMO) >= _SPEC_MEMO_LIMIT:
+                _SPEC_MEMO.clear()
+            _SPEC_MEMO[key] = spec
+        return spec
+    except TypeError:  # unhashable parameter values
+        return run.resolve_spec()
+
+
 def execute_run(run: SweepRun) -> Dict[str, Any]:
     """Worker entry point: execute one run and annotate its provenance."""
-    spec = run.resolve_spec()
+    spec = _resolve_spec_cached(run)
     record = run_scenario(spec, seed=run.seed)
     record["run"] = {
         "index": run.index,

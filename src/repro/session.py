@@ -32,8 +32,6 @@ from repro.simulator.monitor import ThroughputMonitor
 from repro.simulator.multicast import MulticastGroup
 from repro.simulator.topology import Network
 
-_session_counter = itertools.count()
-
 
 class TFMCCSession:
     """A complete TFMCC session: one sender, a multicast group and receivers.
@@ -69,7 +67,10 @@ class TFMCCSession:
         self.network = network
         self.config = config if config is not None else TFMCCConfig()
         self.monitor = monitor
-        self.name = name or f"tfmcc{next(_session_counter)}"
+        # Default names come from a per-simulator counter so that identical
+        # runs in one process build identically-named sessions (module-level
+        # counters would leak state between runs).
+        self.name = name or f"tfmcc{sim.next_index('tfmcc-session')}"
         self.flow_id = f"{self.name}-flow"
         self.group_id = f"{self.name}-group"
         self.sender_node = sender_node

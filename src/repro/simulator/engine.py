@@ -5,16 +5,38 @@ callbacks scheduled at absolute simulation times.  Scheduling returns an
 :class:`EventHandle` that can be cancelled, which is how protocol timers
 (retransmission timers, feedback timers, CLR timeouts) are implemented.
 
+Hot-path design notes
+---------------------
+
+* The heap stores plain ``(time, seq, handle)`` tuples so that heap sifting
+  compares at C speed; :class:`EventHandle` objects are never compared
+  because ``(time, seq)`` is unique.
+* Cancellation is lazy (the tuple stays in the heap and is skipped when it
+  surfaces), but the simulator counts live cancelled entries and rebuilds
+  the heap once more than half of it is dead.  Compaction filters the same
+  tuples and re-heapifies, so the pop order of surviving events is
+  unchanged.
+* :meth:`Simulator.reschedule` is a fast path for the dominant
+  recurring-timer pattern (media senders, CBR sources, link drains): when
+  the previous handle has already fired it is reused in place, so a
+  periodic timer costs zero allocations per tick.
+* Packet ids are drawn from a per-simulator counter
+  (:meth:`Simulator.next_packet_uid`), never from module-level state, so two
+  runs in one process produce identical traces.
+
 The engine owns a seeded :class:`random.Random` instance so that every
 simulation run is reproducible from its seed.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import random
-from typing import Any, Callable, List, Optional
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Minimum number of live cancelled heap entries before compaction is
+#: considered; below this the dead tuples are cheaper than a rebuild.
+_COMPACT_MIN_DEAD = 64
 
 
 class SimulationError(RuntimeError):
@@ -26,22 +48,35 @@ class EventHandle:
 
     The handle allows the owner to cancel the event before it fires and to
     query whether it already fired.  Cancelled events stay in the heap but are
-    skipped by the main loop (lazy deletion).
+    skipped by the main loop (lazy deletion) until the owning simulator
+    compacts its queue.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Cancel the event; a cancelled event never fires."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if not self.fired and self._sim is not None:
+            self._sim._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -68,46 +103,135 @@ class Simulator:
     """
 
     def __init__(self, seed: Optional[int] = None):
-        self._now = 0.0
-        self._queue: List[EventHandle] = []
-        self._seq = itertools.count()
+        #: Current simulation time.  A plain attribute (not a property) for
+        #: hot-path speed; treat it as read-only — only the run loop may
+        #: advance it.
+        self.now = 0.0
+        self._queue: List[Tuple[float, int, EventHandle]] = []
+        self._seq = 0
+        self._dead = 0  # live cancelled entries still in the heap
         self._running = False
         self._stopped = False
+        self._packet_uid = 0
+        self._name_counters: dict = {}
         self.rng = random.Random(seed)
         self.events_processed = 0
 
-    @property
-    def now(self) -> float:
-        """Current simulation time in seconds."""
-        return self._now
+    # ------------------------------------------------------------ identifiers
+
+    def next_packet_uid(self) -> int:
+        """Allocate the next packet id of this simulator (deterministic)."""
+        uid = self._packet_uid
+        self._packet_uid = uid + 1
+        return uid
+
+    def next_index(self, kind: str) -> int:
+        """Per-simulator counter for deterministic default names.
+
+        Replaces module-level ``itertools.count()`` naming (whose values
+        depend on how many objects earlier runs in the same process
+        created): each simulator counts from zero per ``kind``.
+        """
+        counters = self._name_counters
+        index = counters.get(kind, 0)
+        counters[kind] = index + 1
+        return index
+
+    # ------------------------------------------------------------ scheduling
 
     def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, self)
+        heappush(self._queue, (time, seq, handle))
+        return handle
 
     def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run at absolute simulation ``time``."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule event at {time} before current time {self._now}"
+                f"cannot schedule event at {time} before current time {self.now}"
             )
-        handle = EventHandle(time, next(self._seq), callback, args)
-        heapq.heappush(self._queue, handle)
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle(time, seq, callback, args, self)
+        heappush(self._queue, (time, seq, handle))
         return handle
+
+    def reschedule(
+        self,
+        handle: Optional[EventHandle],
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+    ) -> EventHandle:
+        """Re-arm a (possibly fired) timer ``delay`` seconds from now.
+
+        This is the fast path for recurring timers.  If ``handle`` already
+        fired (the common case: a timer re-arming itself from its own
+        callback) the same object is reused without allocating; the caller
+        gets the identical handle back, freshly pending.  A still-pending
+        handle is cancelled first; ``None`` simply schedules.  In every case
+        the returned handle behaves exactly as if ``schedule`` had been
+        called, including its position in the tie-breaking order.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        if handle is not None:
+            if handle.fired and not handle.cancelled:
+                time = self.now + delay
+                seq = self._seq
+                self._seq = seq + 1
+                handle.time = time
+                handle.seq = seq
+                handle.callback = callback
+                handle.args = args
+                handle.fired = False
+                heappush(self._queue, (time, seq, handle))
+                return handle
+            if not handle.cancelled:
+                handle.cancel()
+        return self.schedule(delay, callback, *args)
 
     def stop(self) -> None:
         """Stop the run loop after the current event finishes."""
         self._stopped = True
 
+    # ------------------------------------------------------------ queue upkeep
+
+    def _note_cancelled(self) -> None:
+        """A pending handle was cancelled; compact once >50% of the heap is dead."""
+        dead = self._dead + 1
+        self._dead = dead
+        if dead > _COMPACT_MIN_DEAD and dead * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and rebuild the heap.
+
+        Filtering preserves each surviving ``(time, seq, handle)`` tuple, and
+        ``heapify`` orders by the same key, so the pop order of surviving
+        events is identical to the lazy-deletion order.
+        """
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        heapify(self._queue)
+        self._dead = 0
+
     def peek(self) -> Optional[float]:
         """Return the time of the next pending event, or None if empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        if not self._queue:
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heappop(queue)
+            self._dead -= 1
+        if not queue:
             return None
-        return self._queue[0].time
+        return queue[0][0]
+
+    # ------------------------------------------------------------ run loop
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run the event loop.
@@ -130,27 +254,32 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         self._stopped = False
+        queue = self._queue
+        limit = max_events if max_events is not None else float("inf")
         processed = 0
         try:
-            while self._queue and not self._stopped:
-                handle = self._queue[0]
+            while queue and not self._stopped:
+                time, _seq, handle = queue[0]
                 if handle.cancelled:
-                    heapq.heappop(self._queue)
+                    heappop(queue)
+                    self._dead -= 1
                     continue
-                if until is not None and handle.time >= until:
-                    self._now = until
+                if until is not None and time >= until:
+                    self.now = until
                     break
-                heapq.heappop(self._queue)
-                self._now = handle.time
+                heappop(queue)
+                self.now = time
                 handle.fired = True
                 handle.callback(*handle.args)
-                self.events_processed += 1
                 processed += 1
-                if max_events is not None and processed >= max_events:
+                # Callbacks may replace the queue (compaction); resync.
+                queue = self._queue
+                if processed >= limit:
                     break
             else:
                 if until is not None and not self._stopped:
-                    self._now = max(self._now, until)
+                    self.now = max(self.now, until)
         finally:
             self._running = False
-        return self._now
+            self.events_processed += processed
+        return self.now

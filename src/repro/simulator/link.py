@@ -148,10 +148,19 @@ class Link:
             raise ValueError("jitter cannot be negative")
         self.jitter = jitter
         self.queue = queue if queue is not None else DropTailQueue(limit=50)
-        if isinstance(self.queue, REDQueue):
-            self.queue.bind_rng(sim.rng)
+        # Any queue that consumes randomness (e.g. RED) gets the simulator
+        # RNG bound automatically, so seeding stays centralised and a queue
+        # can never silently run unseeded.
+        bind_rng = getattr(self.queue, "bind_rng", None)
+        if bind_rng is not None:
+            bind_rng(sim.rng)
+        self._queue_tracks_idle = isinstance(self.queue, REDQueue)
         self.name = name or f"{src.node_id}->{dst.node_id}"
         self._busy = False
+        # Reusable drain-event handle: one recurring event walks the queue
+        # (dequeue + transmit), rather than allocating a fresh event per
+        # queued packet (see Simulator.reschedule).
+        self._drain = None
         # Statistics
         self.packets_sent = 0
         self.bytes_sent = 0
@@ -161,7 +170,11 @@ class Link:
     # ------------------------------------------------------------------ API
 
     def transmission_time(self, packet: Packet) -> float:
-        """Serialisation time of ``packet`` on this link in seconds."""
+        """Serialisation time of ``packet`` on this link in seconds.
+
+        Keep in sync with the inlined copy in :meth:`_start_transmission`
+        (inlined there because it runs once per transmitted packet).
+        """
         return packet.size * 8.0 / self.bandwidth
 
     def enqueue(self, packet: Packet) -> bool:
@@ -206,17 +219,20 @@ class Link:
 
     def _start_transmission(self, packet: Packet) -> None:
         self._busy = True
-        hold = self.transmission_time(packet)
+        hold = packet.size * 8.0 / self.bandwidth  # inlined transmission_time()
         if self.jitter > 0.0:
             hold += self.sim.rng.random() * self.jitter
-        self.sim.schedule(hold, self._finish_transmission, packet)
+        # Reuse the single drain handle: zero allocations while the link
+        # works through its queue.
+        self._drain = self.sim.reschedule(self._drain, hold, self._finish_transmission, packet)
 
     def _finish_transmission(self, packet: Packet) -> None:
+        size = packet.size
         self.packets_sent += 1
-        self.bytes_sent += packet.size
-        self.bytes_per_flow[packet.flow_id] = (
-            self.bytes_per_flow.get(packet.flow_id, 0) + packet.size
-        )
+        self.bytes_sent += size
+        flow_id = packet.flow_id
+        per_flow = self.bytes_per_flow
+        per_flow[flow_id] = per_flow.get(flow_id, 0) + size
         # Propagation: packet arrives at the downstream node after `delay`.
         self.sim.schedule(self.delay, self.dst.receive, packet, self)
         nxt = self.queue.dequeue()
@@ -224,7 +240,7 @@ class Link:
             self._start_transmission(nxt)
         else:
             self._busy = False
-            if isinstance(self.queue, REDQueue):
+            if self._queue_tracks_idle:
                 self.queue.mark_idle(self.sim.now)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -47,6 +47,11 @@ class ThroughputMonitor:
 
     Protocol agents call :meth:`record` whenever they accept a data packet.
     The monitor produces per-flow throughput time series in bits per second.
+
+    Storage is a flat per-flow list of byte counters indexed by bin — a
+    fixed-interval accumulator, not a per-packet record list — so memory is
+    bounded by simulated time (not packet count) and :meth:`record` is a
+    couple of list operations on the hot path.
     """
 
     def __init__(self, sim: Simulator, interval: float = 1.0):
@@ -54,22 +59,35 @@ class ThroughputMonitor:
             raise ValueError("interval must be positive")
         self.sim = sim
         self.interval = interval
-        self._bytes: Dict[str, Dict[int, int]] = {}
+        # flow id -> byte counters, index = bin number (time // interval).
+        self._bins: Dict[str, List[int]] = {}
 
     def record(self, flow_id: str, size: int, when: Optional[float] = None) -> None:
         """Record ``size`` bytes received for ``flow_id``."""
         t = self.sim.now if when is None else when
-        bin_index = int(t / self.interval)
-        flow_bins = self._bytes.setdefault(flow_id, {})
-        flow_bins[bin_index] = flow_bins.get(bin_index, 0) + size
+        index = int(t / self.interval)
+        bins = self._bins.get(flow_id)
+        if bins is None:
+            bins = self._bins[flow_id] = []
+        if index >= len(bins):
+            bins.extend([0] * (index + 1 - len(bins)))
+        bins[index] += size
 
     def flows(self) -> List[str]:
         """All flow ids that recorded any traffic."""
-        return list(self._bytes)
+        return list(self._bins)
 
     def total_bytes(self, flow_id: str) -> int:
         """Total bytes recorded for a flow."""
-        return sum(self._bytes.get(flow_id, {}).values())
+        return sum(self._bins.get(flow_id, ()))
+
+    def _bin_range(self, flow_id: str, t_start: float, t_end: Optional[float]):
+        """Resolve ``(bins, first_index, last_index)`` for a query window."""
+        bins = self._bins.get(flow_id, [])
+        end = t_end if t_end is not None else self.sim.now
+        first = int(t_start / self.interval)
+        last = int(math.ceil(end / self.interval))
+        return bins, first, max(last, first)
 
     def series(
         self, flow_id: str, t_start: float = 0.0, t_end: Optional[float] = None
@@ -78,15 +96,13 @@ class ThroughputMonitor:
 
         Bins with no traffic are reported as zero so the series is contiguous.
         """
-        flow_bins = self._bytes.get(flow_id, {})
-        end = t_end if t_end is not None else self.sim.now
-        first = int(t_start / self.interval)
-        last = int(math.ceil(end / self.interval))
-        points = []
-        for b in range(first, max(last, first)):
-            byte_count = flow_bins.get(b, 0)
-            points.append((b * self.interval, byte_count * 8.0 / self.interval))
-        return points
+        bins, first, last = self._bin_range(flow_id, t_start, t_end)
+        n = len(bins)
+        interval = self.interval
+        scale = 8.0 / interval
+        return [
+            (b * interval, (bins[b] if 0 <= b < n else 0) * scale) for b in range(first, last)
+        ]
 
     def throughputs(
         self, flow_id: str, t_start: float = 0.0, t_end: Optional[float] = None
@@ -102,10 +118,8 @@ class ThroughputMonitor:
         duration = end - t_start
         if duration <= 0:
             return 0.0
-        flow_bins = self._bytes.get(flow_id, {})
-        first = int(t_start / self.interval)
-        last = int(math.ceil(end / self.interval))
-        total = sum(flow_bins.get(b, 0) for b in range(first, last))
+        bins, first, last = self._bin_range(flow_id, t_start, t_end)
+        total = sum(bins[max(first, 0):max(last, 0)])
         return total * 8.0 / duration
 
     def stats(

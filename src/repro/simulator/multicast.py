@@ -38,6 +38,10 @@ class MulticastGroup:
         self.source = source
         # Members: (node id, agent) pairs.
         self._members: List[Tuple[str, Agent]] = []
+        # Cached shortest-path tree, keyed by the network topology version:
+        # membership churn (the common case) reuses one SSSP computation.
+        self._spt_version: Optional[int] = None
+        self._spt_parents: Optional[Dict[str, Optional[str]]] = None
         self._rebuild_tree()
 
     # ------------------------------------------------------------ membership
@@ -68,20 +72,45 @@ class MulticastGroup:
     # ------------------------------------------------------------ tree
 
     def _rebuild_tree(self) -> None:
-        """Recompute the source-rooted distribution tree from shortest paths."""
+        """Recompute the source-rooted distribution tree from shortest paths.
+
+        One single-source shortest-path computation covers every member
+        (instead of one search per member), and forwarding entries are
+        stored as tuples in member-join order so that packet forwarding —
+        and with it every downstream RNG draw — is deterministic across
+        processes regardless of ``PYTHONHASHSEED``.
+        """
         # Clear existing forwarding state for this group.
         for node in self.network.nodes.values():
             node.mcast_routes.pop(self.group_id, None)
-        downstream: Dict[str, Set[str]] = {}
-        member_nodes = {nid for nid, _agent in self._members}
-        for member in member_nodes:
-            if member == self.source:
+            node._mcast_cache.clear()
+        if not self._members:
+            return
+        version = self.network.topology_version
+        if self._spt_parents is None or self._spt_version != version:
+            self._spt_parents = self.network.shortest_path_tree(self.source)
+            self._spt_version = version
+        parents = self._spt_parents
+        # hop -> {next hop: None}; insertion-ordered stand-in for a set.
+        downstream: Dict[str, Dict[str, None]] = {}
+        seen = set()
+        for member, _agent in self._members:
+            if member == self.source or member in seen:
                 continue
-            path = self.network.path(self.source, member)
-            for hop, nxt in zip(path, path[1:]):
-                downstream.setdefault(hop, set()).add(nxt)
+            seen.add(member)
+            # Walk member -> source along tree predecessors; stop early when
+            # the walk merges with an already-grafted branch.
+            nxt = member
+            hop = parents.get(nxt)
+            while hop is not None:
+                branch = downstream.setdefault(hop, {})
+                if nxt in branch:
+                    break
+                branch[nxt] = None
+                nxt = hop
+                hop = parents.get(nxt)
         for node_id, neighbours in downstream.items():
-            self.network.node(node_id).mcast_routes[self.group_id] = neighbours
+            self.network.node(node_id).mcast_routes[self.group_id] = tuple(neighbours)
 
     def tree_edges(self) -> Set[Tuple[str, str]]:
         """Return the set of directed edges currently in the distribution tree."""

@@ -11,7 +11,7 @@ receivers additionally register as members of a multicast group.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.simulator.packet import Packet
 
@@ -50,7 +50,10 @@ class Agent:
         """Send a packet into the network from the local node."""
         if self.node is None:
             raise RuntimeError(f"agent {self.flow_id} is not attached to a node")
-        packet.sent_at = self.sim.now
+        sim = self.sim
+        packet.sent_at = sim.now
+        if packet.uid < 0:
+            packet.uid = sim.next_packet_uid()
         self.node.send(packet)
 
     def receive(self, packet: Packet) -> None:  # pragma: no cover - abstract
@@ -65,7 +68,12 @@ class Node:
         self.node_id = node_id
         self.links: Dict[str, "Link"] = {}  # neighbour node id -> outgoing link
         self.routes: Dict[str, str] = {}  # destination node id -> neighbour node id
-        self.mcast_routes: Dict[str, Set[str]] = {}  # group -> set of neighbour ids
+        # group -> downstream neighbour ids, in deterministic (tree-build)
+        # order; any iterable works, MulticastGroup stores tuples.
+        self.mcast_routes: Dict[str, Sequence[str]] = {}
+        # (group, incoming id) -> resolved Link.enqueue targets; rebuilt
+        # lazily, invalidated whenever the distribution tree changes.
+        self._mcast_cache: Dict[tuple, tuple] = {}
         self.agents: Dict[str, Agent] = {}  # flow id -> agent
         self.group_members: Dict[str, List[Agent]] = {}  # group -> local member agents
         self.packets_forwarded = 0
@@ -154,20 +162,37 @@ class Node:
     ) -> None:
         group = packet.group
         # Deliver to local members (but never back to the sending agent).
-        for agent in list(self.group_members.get(group, [])):
-            if local_origin and agent.flow_id == packet.flow_id:
-                continue
-            self.packets_delivered += 1
-            agent.receive(packet)
-        # Forward downstream along the distribution tree.
-        for neighbour in self.mcast_routes.get(group, set()):
-            if incoming is not None and neighbour == incoming.src.node_id:
-                continue
-            link = self.links.get(neighbour)
-            if link is None:
-                continue
-            self.packets_forwarded += 1
-            link.enqueue(packet)
+        members = self.group_members.get(group)
+        if members:
+            if len(members) == 1:
+                agent = members[0]
+                if not (local_origin and agent.flow_id == packet.flow_id):
+                    self.packets_delivered += 1
+                    agent.receive(packet)
+            else:
+                # Copy: a receive() may trigger membership changes mid-loop.
+                for agent in tuple(members):
+                    if local_origin and agent.flow_id == packet.flow_id:
+                        continue
+                    self.packets_delivered += 1
+                    agent.receive(packet)
+        # Forward downstream along the distribution tree (deterministic order).
+        routes = self.mcast_routes.get(group)
+        if routes:
+            incoming_id = incoming.src.node_id if incoming is not None else None
+            key = (group, incoming_id)
+            targets = self._mcast_cache.get(key)
+            if targets is None:
+                links = self.links
+                targets = tuple(
+                    links[neighbour].enqueue
+                    for neighbour in routes
+                    if neighbour != incoming_id and neighbour in links
+                )
+                self._mcast_cache[key] = targets
+            self.packets_forwarded += len(targets)
+            for enqueue in targets:
+                enqueue(packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Node({self.node_id}, links={list(self.links)}, agents={list(self.agents)})"

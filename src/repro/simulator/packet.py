@@ -5,16 +5,20 @@ Packets are deliberately simple: addressing metadata plus an opaque
 TFMCC data-packet header or a TCP segment header).  Packets are treated as
 immutable once sent; multicast forwarding shares the same object along all
 branches, which is safe because links and nodes never mutate packets.
+
+``Packet`` is a ``__slots__`` class rather than a dataclass: packets are the
+single most-allocated object in a simulation, and slots cut both the
+per-packet memory and the attribute-access cost on every hop.  Packet ids
+(``uid``) are assigned by :meth:`repro.simulator.node.Agent.send` from the
+owning simulator's counter (:meth:`~repro.simulator.engine.Simulator.next_packet_uid`),
+never from module-level state, so concurrent or back-to-back runs in one
+process produce identical traces.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Optional
-
-_packet_ids = itertools.count()
 
 
 class PacketType(Enum):
@@ -26,7 +30,6 @@ class PacketType(Enum):
     CONTROL = "control"
 
 
-@dataclass
 class Packet:
     """A network packet.
 
@@ -51,18 +54,35 @@ class Packet:
         Simulation time at which the packet entered the network.
     payload:
         Protocol-specific header object (dataclass or dict).
+    uid:
+        Per-simulator packet id, assigned when the packet is sent.
     """
 
-    src: str
-    dst: Optional[str]
-    flow_id: str
-    size: int
-    ptype: PacketType = PacketType.DATA
-    group: Optional[str] = None
-    seq: int = 0
-    sent_at: float = 0.0
-    payload: Any = None
-    uid: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = ("src", "dst", "flow_id", "size", "ptype", "group", "seq", "sent_at", "payload", "uid")
+
+    def __init__(
+        self,
+        src: str,
+        dst: Optional[str],
+        flow_id: str,
+        size: int,
+        ptype: PacketType = PacketType.DATA,
+        group: Optional[str] = None,
+        seq: int = 0,
+        sent_at: float = 0.0,
+        payload: Any = None,
+        uid: int = -1,
+    ):
+        self.src = src
+        self.dst = dst
+        self.flow_id = flow_id
+        self.size = size
+        self.ptype = ptype
+        self.group = group
+        self.seq = seq
+        self.sent_at = sent_at
+        self.payload = payload
+        self.uid = uid
 
     @property
     def is_multicast(self) -> bool:

@@ -46,6 +46,8 @@ class DropTailQueue(PacketQueue):
         Maximum number of queued packets (excluding the one in transmission).
     """
 
+    __slots__ = ("limit", "_queue", "_drops", "enqueued")
+
     def __init__(self, limit: int = 50):
         if limit < 1:
             raise ValueError("queue limit must be >= 1")
@@ -82,6 +84,11 @@ class REDQueue(PacketQueue):
     at every enqueue.  Packets are dropped probabilistically once the average
     exceeds ``min_th`` and always once it exceeds ``2 * max_th``.
     """
+
+    __slots__ = (
+        "limit", "min_th", "max_th", "max_p", "weight", "_queue", "_drops",
+        "_avg", "_count_since_drop", "_idle_since", "enqueued", "_rng",
+    )
 
     def __init__(
         self,
@@ -145,7 +152,14 @@ class REDQueue(PacketQueue):
         prob = self._drop_probability()
         if prob > 0.0:
             self._count_since_drop += 1
-            uniform = self._rng.random() if self._rng is not None else 0.5
+            if self._rng is None:
+                raise RuntimeError(
+                    "REDQueue has no RNG bound: attach the queue to a Link "
+                    "(links bind the simulator RNG automatically, e.g. via "
+                    "Network.add_link(..., queue_factory=lambda: REDQueue(...))) "
+                    "or call bind_rng(sim.rng) before offering packets"
+                )
+            uniform = self._rng.random()
             # Uniform inter-drop spreading as in the original RED algorithm.
             denom = max(1e-9, 1.0 - self._count_since_drop * prob)
             effective = min(1.0, prob / denom) if prob < 1.0 else 1.0

@@ -120,7 +120,8 @@ class CBRSource(Agent):
         if not self._running:
             return
         self._emit_packet()
-        self._next_send = self.sim.schedule(self.interval, self._send_next)
+        # Recurring-timer fast path: reuse the fired handle.
+        self._next_send = self.sim.reschedule(self._next_send, self.interval, self._send_next)
 
     def _emit_packet(self) -> None:
         packet = Packet(
@@ -195,7 +196,9 @@ class OnOffSource(CBRSource):
             return
         self._on = True
         self._send_next()
-        self._phase_switch = self.sim.schedule(self._duration(self.on_time), self._enter_off)
+        self._phase_switch = self.sim.reschedule(
+            self._phase_switch, self._duration(self.on_time), self._enter_off
+        )
 
     def _enter_off(self) -> None:
         if not self._running:
@@ -204,10 +207,12 @@ class OnOffSource(CBRSource):
         if self._next_send is not None:
             self._next_send.cancel()
             self._next_send = None
-        self._phase_switch = self.sim.schedule(self._duration(self.off_time), self._enter_on)
+        self._phase_switch = self.sim.reschedule(
+            self._phase_switch, self._duration(self.off_time), self._enter_on
+        )
 
     def _send_next(self) -> None:
         if not self._running or not self._on:
             return
         self._emit_packet()
-        self._next_send = self.sim.schedule(self.interval, self._send_next)
+        self._next_send = self.sim.reschedule(self._next_send, self.interval, self._send_next)

@@ -13,6 +13,7 @@ the topology builders used throughout the paper's evaluation:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Callable, Dict, List, Optional, Tuple
 
 import networkx as nx
@@ -41,6 +42,9 @@ class Network:
         self.nodes: Dict[str, Node] = {}
         self.links: List[Link] = []
         self.graph = nx.Graph()
+        #: Bumped whenever a node or link is added; lets shortest-path
+        #: consumers (multicast trees, route caches) reuse results safely.
+        self.topology_version = 0
 
     # ------------------------------------------------------------ topology
 
@@ -51,6 +55,7 @@ class Network:
         node = Node(self.sim, node_id)
         self.nodes[node_id] = node
         self.graph.add_node(node_id)
+        self.topology_version += 1
         return node
 
     def node(self, node_id: str) -> Node:
@@ -87,6 +92,7 @@ class Network:
         src_node.add_link(link)
         self.links.append(link)
         self.graph.add_edge(src, dst, delay=delay)
+        self.topology_version += 1
         return link
 
     def add_duplex_link(
@@ -142,22 +148,57 @@ class Network:
 
     # ------------------------------------------------------------ routing
 
+    def _dijkstra(self, source: str, weight: str = "delay"):
+        """Single-source shortest paths over the (undirected) topology graph.
+
+        Returns ``(parents, first_hops)``: the predecessor of every reached
+        node and the first hop from ``source`` towards it.  Ties are broken
+        by discovery order (which follows edge insertion order), so the
+        result is deterministic across processes — unlike iterating sets of
+        node-id strings, it does not depend on ``PYTHONHASHSEED``.
+        """
+        adj = self.graph.adj
+        dist = {source: 0.0}
+        parents: Dict[str, Optional[str]] = {source: None}
+        first_hops: Dict[str, Optional[str]] = {source: None}
+        done = set()
+        counter = 0
+        heap = [(0.0, counter, source)]
+        while heap:
+            d, _tie, u = heappop(heap)
+            if u in done:
+                continue
+            done.add(u)
+            u_first = first_hops[u]
+            for v, edge in adj[u].items():
+                if v in done:
+                    continue
+                nd = d + edge[weight]
+                if v not in dist or nd < dist[v]:
+                    dist[v] = nd
+                    parents[v] = u
+                    first_hops[v] = v if u_first is None else u_first
+                    counter += 1
+                    heappush(heap, (nd, counter, v))
+        return parents, first_hops
+
+    def shortest_path_tree(self, source: str, weight: str = "delay") -> Dict[str, Optional[str]]:
+        """Predecessor map of the shortest-path tree rooted at ``source``."""
+        parents, _first_hops = self._dijkstra(source, weight)
+        return parents
+
     def build_routes(self, weight: str = "delay") -> None:
         """Compute shortest-path unicast routes for all node pairs.
 
         Must be called after the topology is complete (and again if it
         changes).  Routes are stored in each node's routing table.
         """
-        paths = dict(nx.all_pairs_dijkstra_path(self.graph, weight=weight))
         for src_id, node in self.nodes.items():
+            _parents, first_hops = self._dijkstra(src_id, weight)
             node.routes.clear()
-            for dst_id in self.nodes:
-                if dst_id == src_id:
-                    continue
-                path = paths.get(src_id, {}).get(dst_id)
-                if path is None or len(path) < 2:
-                    continue
-                node.routes[dst_id] = path[1]
+            for dst_id, hop in first_hops.items():
+                if hop is not None:
+                    node.routes[dst_id] = hop
 
     def path(self, src: str, dst: str, weight: str = "delay") -> List[str]:
         """Shortest path between two nodes as a list of node ids."""
@@ -195,6 +236,7 @@ class Network:
         queue_limit: int = 50,
         access_queue_limit: Optional[int] = None,
         access_jitter: Optional[float] = None,
+        build_routes: bool = True,
     ) -> "Network":
         """Build the classic dumbbell / single-bottleneck topology (Figure 8).
 
@@ -232,7 +274,8 @@ class Network:
                 access_q,
                 jitter=access_jitter,
             )
-        net.build_routes()
+        if build_routes:
+            net.build_routes()
         return net
 
     @classmethod
@@ -245,6 +288,7 @@ class Network:
         hub_delay: float = 0.001,
         source_name: str = "source",
         queue_limit: int = 50,
+        build_routes: bool = True,
     ) -> "Network":
         """Build a star topology: a source behind a hub with per-leaf links.
 
@@ -267,5 +311,6 @@ class Network:
                 spec.queue_limit,
                 spec.loss_rate,
             )
-        net.build_routes()
+        if build_routes:
+            net.build_routes()
         return net

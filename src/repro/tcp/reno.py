@@ -214,11 +214,14 @@ class TCPRenoSender(Agent):
         self.rto = min(self.max_rto, max(self.min_rto, self.srtt + 4.0 * self.rttvar))
 
     def _restart_rto_timer(self) -> None:
-        if self._rto_timer is not None:
-            self._rto_timer.cancel()
         if not self.running:
+            if self._rto_timer is not None:
+                self._rto_timer.cancel()
             return
-        self._rto_timer = self.sim.schedule(self.rto * self.backoff, self._on_timeout)
+        # reschedule() cancels a pending timer and reuses a fired one.
+        self._rto_timer = self.sim.reschedule(
+            self._rto_timer, self.rto * self.backoff, self._on_timeout
+        )
 
     def _on_timeout(self) -> None:
         if not self.running:

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class TCPSegment:
     """Header of a TCP data segment.
 
@@ -18,7 +18,7 @@ class TCPSegment:
     is_retransmit: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class TCPAck:
     """Header of a (cumulative) TCP acknowledgement.
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class TFRCDataHeader:
     """Header of a TFRC data packet."""
 
@@ -15,7 +15,7 @@ class TFRCDataHeader:
     send_rate: float  # bytes per second
 
 
-@dataclass
+@dataclass(slots=True)
 class TFRCFeedbackHeader:
     """Header of a TFRC receiver report (sent roughly once per RTT)."""
 

@@ -101,7 +101,7 @@ class TFRCSender(Agent):
         self.seq += 1
         self.packets_sent += 1
         interval = self.config.packet_size / max(self.current_rate, self.min_rate)
-        self._send_timer = self.sim.schedule(interval, self._send_next)
+        self._send_timer = self.sim.reschedule(self._send_timer, interval, self._send_next)
 
     def receive(self, packet: Packet) -> None:
         if packet.ptype is not PacketType.FEEDBACK or not self.running:

@@ -132,3 +132,135 @@ def test_handle_reports_fired():
     sim.run()
     assert handle.fired
     assert not handle.pending
+
+
+# --------------------------------------------------------------------------
+# Edge cases of the compacting heap and the reschedule fast path.
+
+
+def test_cancel_then_compact_fires_survivors_in_order():
+    sim = Simulator(seed=1)
+    fired = []
+    keep = [sim.schedule(float(i) + 0.5, fired.append, i) for i in range(50)]
+    doomed = [sim.schedule(float(i) + 0.25, lambda: fired.append("bad")) for i in range(300)]
+    for handle in doomed:
+        handle.cancel()  # >50% of the heap dead -> triggers compaction
+    # Compaction ran (possibly several times): dead entries were reclaimed
+    # rather than accumulating, and the live count is exact.
+    assert len(sim._queue) < len(keep) + len(doomed)
+    assert len(sim._queue) == len(keep) + sim._dead
+    sim.run()
+    assert fired == list(range(50))
+
+
+def test_peek_after_mass_cancellation():
+    sim = Simulator(seed=1)
+    survivors = sim.schedule(7.0, lambda: None)
+    for handle in [sim.schedule(1.0, lambda: None) for _ in range(200)]:
+        handle.cancel()
+    assert sim.peek() == 7.0
+    assert survivors.pending
+
+
+def test_event_at_exactly_until_is_not_executed():
+    sim = Simulator(seed=1)
+    fired = []
+    sim.schedule_at(5.0, fired.append, "at-until")
+    end = sim.run(until=5.0)
+    assert end == 5.0
+    assert fired == []
+    # Scheduling at exactly the current time is allowed, and the event is
+    # still pending for a later run.
+    sim.schedule_at(5.0, fired.append, "now")
+    sim.run()
+    assert fired == ["at-until", "now"]
+
+
+def test_reschedule_reuses_fired_handle():
+    sim = Simulator(seed=1)
+    seen = []
+    first = sim.schedule(1.0, seen.append, "a")
+    sim.run()
+    assert first.fired
+    again = sim.reschedule(first, 1.0, seen.append, "b")
+    assert again is first  # zero-allocation reuse
+    assert again.pending and not again.fired
+    sim.run()
+    assert seen == ["a", "b"]
+    assert again.fired
+
+
+def test_reschedule_cancels_pending_handle():
+    sim = Simulator(seed=1)
+    seen = []
+    pending = sim.schedule(1.0, seen.append, "old")
+    fresh = sim.reschedule(pending, 2.0, seen.append, "new")
+    assert fresh is not pending
+    assert pending.cancelled
+    sim.run()
+    assert seen == ["new"]
+
+
+def test_reschedule_none_schedules():
+    sim = Simulator(seed=1)
+    seen = []
+    handle = sim.reschedule(None, 1.0, seen.append, 1)
+    assert handle.pending
+    sim.run()
+    assert seen == [1]
+
+
+def test_recurring_reschedule_self_rearm():
+    sim = Simulator(seed=1)
+    ticks = []
+
+    class Timer:
+        def __init__(self):
+            self.handle = None
+
+        def tick(self):
+            ticks.append(sim.now)
+            if len(ticks) < 5:
+                self.handle = sim.reschedule(self.handle, 1.0, self.tick)
+
+    timer = Timer()
+    timer.handle = sim.schedule(1.0, timer.tick)
+    sim.run()
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_event_order_is_identical_with_and_without_compaction():
+    def build(extra_cancelled):
+        sim = Simulator(seed=1)
+        order = []
+        for i in range(40):
+            sim.schedule(((i * 7) % 10) + i * 0.01, order.append, i)
+        doomed = [sim.schedule(0.5, order.append, "dead") for _ in range(extra_cancelled)]
+        for handle in doomed:
+            handle.cancel()
+        return sim, order
+
+    plain, plain_order = build(extra_cancelled=0)
+    churned, churned_order = build(extra_cancelled=500)  # forces compaction
+    assert len(churned._queue) < 540  # dead entries were reclaimed
+    plain.run()
+    churned.run()
+    assert plain_order == churned_order
+
+
+def test_packet_uid_counter_is_per_simulator():
+    a = Simulator(seed=1)
+    b = Simulator(seed=1)
+    assert [a.next_packet_uid() for _ in range(3)] == [0, 1, 2]
+    # A second simulator in the same process starts from zero again.
+    assert b.next_packet_uid() == 0
+
+
+def test_max_events_zero_still_bounds_the_run():
+    sim = Simulator(seed=1)
+    for i in range(5):
+        sim.schedule(i + 1.0, lambda: None)
+    sim.run(max_events=0)
+    # Matches the pre-overhaul semantics: the bound is checked after each
+    # event, so max_events=0 processes exactly one event, never the queue.
+    assert sim.events_processed == 1

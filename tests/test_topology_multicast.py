@@ -166,3 +166,28 @@ class TestMulticast:
         )
         sim.run()
         assert sender.received == []
+
+
+class TestDeterministicForwardingOrder:
+    def test_mcast_routes_are_tuples_in_join_order(self):
+        sim = Simulator(seed=1)
+        net = Network.star(sim, num_leaves=4)
+        group = MulticastGroup(net, "g", "source")
+        agents = [RecordingAgent(sim, f"r{i}") for i in range(4)]
+        # Join in an order that differs from the leaf naming order.
+        for i in (2, 0, 3, 1):
+            net.attach(f"leaf{i}", agents[i])
+            group.join(f"leaf{i}", agents[i])
+        routes = net.node("hub").mcast_routes["g"]
+        assert isinstance(routes, tuple)
+        assert routes == ("leaf2", "leaf0", "leaf3", "leaf1")
+
+    def test_unicast_routes_match_networkx_shortest_paths(self):
+        sim = Simulator(seed=1)
+        net = Network.dumbbell(sim, 3, 3, 1e6, 0.02, 10e6, 0.001)
+        import networkx as nx
+
+        expected = dict(nx.all_pairs_dijkstra_path(net.graph, weight="delay"))
+        for src, node in net.nodes.items():
+            for dst, hop in node.routes.items():
+                assert expected[src][dst][1] == hop
