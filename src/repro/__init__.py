@@ -13,13 +13,17 @@ The package bundles:
   (:mod:`repro.experiments`),
 * a declarative scenario subsystem with a named-scenario registry and a
   parallel sweep runner (:mod:`repro.scenarios`), exposed on the command
-  line as ``python -m repro``.
+  line as ``python -m repro``,
+* a metrics subsystem — trace probes, paper metrics, sweep aggregation —
+  (:mod:`repro.metrics`) and the paper-figure reporting layer on top of it
+  (:mod:`repro.report`, ``python -m repro report``).
 """
 
 from repro.core.config import TFMCCConfig
 from repro.core.feedback import BiasMethod
 from repro.core.receiver import TFMCCReceiver
 from repro.core.sender import TFMCCSender
+from repro.metrics import TraceRecorder, jain_fairness
 from repro.scenarios.build import build_scenario, run_scenario
 from repro.scenarios.registry import get_scenario, scenario_names
 from repro.scenarios.spec import ScenarioSpec
@@ -34,7 +38,7 @@ from repro.simulator.topology import LinkSpec, Network
 from repro.tcp.reno import TCPRenoSender
 from repro.tcp.sink import TCPSink
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BiasMethod",
@@ -54,10 +58,12 @@ __all__ = [
     "TFMCCSender",
     "TFMCCSession",
     "ThroughputMonitor",
+    "TraceRecorder",
     "TrafficSink",
     "build_scenario",
     "fairness_index",
     "get_scenario",
+    "jain_fairness",
     "run_scenario",
     "scenario_names",
     "__version__",

@@ -17,6 +17,10 @@ Run one scenario and append its record to a JSONL file::
 Run a seeded sweep over a parameter grid on 4 worker processes::
 
     python -m repro sweep fairness --jobs 4 --grid num_tcp=2,4,8 --reps 4
+
+Build the paper-figure datasets/plots and verify them against the models::
+
+    python -m repro report --quick --check
 """
 
 from __future__ import annotations
@@ -27,7 +31,14 @@ import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
+import os
+
 from repro.bench import DEFAULT_OUT_DIR as BENCH_OUT_DIR, DEFAULT_THRESHOLD as BENCH_THRESHOLD
+
+# Mirrors repro.report.runner.DEFAULT_OUT_DIR; the report package (and its
+# scipy/matplotlib-needing dependencies) is imported lazily in cmd_report so
+# the rest of the CLI keeps its networkx-only footprint.
+REPORT_OUT_DIR = os.path.join("results", "figures")
 from repro.scenarios.registry import get_scenario, scenarios
 from repro.scenarios.build import run_scenario
 from repro.scenarios.store import ResultStore, encode_record
@@ -174,6 +185,42 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import figure_names, run_report, summarise
+    from repro.report.figures import FIGURES
+
+    if args.list:
+        width = max(len(name) for name in figure_names())
+        for name in figure_names():
+            figure = FIGURES[name]
+            print(f"{name:<{width}}  {figure.paper_figures}: {figure.title}")
+        return 0
+    # Validate names up front; a try/except around run_report would also
+    # swallow KeyErrors raised by genuine bugs inside the figure builds.
+    unknown = [name for name in (args.figure or []) if name not in FIGURES]
+    if unknown:
+        print(
+            f"error: unknown figure(s) {unknown}; available: {', '.join(figure_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    reports, failures = run_report(
+        figures=args.figure or None,
+        quick=args.quick,
+        check=args.check,
+        out_dir=args.out,
+        jobs=args.jobs,
+        reuse=args.reuse,
+        plots=not args.no_plots,
+    )
+    print(summarise(reports))
+    if failures:
+        for failure in failures:
+            print(f"report check failed: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro import bench
 
@@ -181,18 +228,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for name in sorted(bench.WORKLOADS):
             print(name)
         return 0
-    try:
-        _results, failures = bench.run_bench(
-            names=args.workload or None,
-            quick=args.quick,
-            out_dir=args.out,
-            baseline_dir=args.baseline,
-            check=args.check,
-            threshold=args.threshold,
+    # Validate up front rather than catching KeyError around the whole run,
+    # which would also mask KeyErrors raised by bugs inside the workloads.
+    unknown = [name for name in (args.workload or []) if name not in bench.WORKLOADS]
+    if unknown:
+        print(
+            f"error: unknown workload(s) {unknown}; available: "
+            f"{', '.join(sorted(bench.WORKLOADS))}",
+            file=sys.stderr,
         )
-    except KeyError as exc:
-        print(f"error: {exc}", file=sys.stderr)
         return 2
+    _results, failures = bench.run_bench(
+        names=args.workload or None,
+        quick=args.quick,
+        out_dir=args.out,
+        baseline_dir=args.baseline,
+        check=args.check,
+        threshold=args.threshold,
+    )
     if failures:
         for failure in failures:
             print(f"bench check failed: {failure}", file=sys.stderr)
@@ -241,6 +294,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--out", help="JSONL output path (default results/<scenario>-sweep.jsonl)")
     p_sweep.add_argument("--quiet", action="store_true", help="suppress per-run progress")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_report = sub.add_parser(
+        "report",
+        help="build paper-figure datasets and plots from scenario runs",
+    )
+    p_report.add_argument(
+        "figure", nargs="*", help="figure names (default: all; see --list)"
+    )
+    p_report.add_argument("--list", action="store_true", help="list available figures")
+    p_report.add_argument(
+        "--quick", action="store_true", help="short CI-sized runs with wider tolerances"
+    )
+    p_report.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) when a figure's sim-vs-model assertions are violated",
+    )
+    p_report.add_argument(
+        "--out",
+        default=REPORT_OUT_DIR,
+        help=f"output directory for datasets/plots (default {REPORT_OUT_DIR})",
+    )
+    p_report.add_argument(
+        "--jobs", type=int, default=1, help="worker processes for the simulations"
+    )
+    p_report.add_argument(
+        "--reuse",
+        action="store_true",
+        help="reuse the JSONL run data of a previous identical invocation",
+    )
+    p_report.add_argument(
+        "--no-plots", action="store_true", help="write datasets only, skip PNG rendering"
+    )
+    p_report.set_defaults(func=cmd_report)
 
     p_bench = sub.add_parser(
         "bench", help="run pinned-seed performance benchmarks (BENCH_*.json)"

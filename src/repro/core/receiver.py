@@ -137,6 +137,9 @@ class TFMCCReceiver(Agent):
         self.packets_received = 0
         self.bytes_received = 0
 
+        # Optional structured trace sink (repro.metrics.trace.TraceRecorder).
+        self.probe = None
+
     # ------------------------------------------------------------ measurements
 
     @property
@@ -228,8 +231,13 @@ class TFMCCReceiver(Agent):
         history = self.history
         had_loss_before = history.has_loss
         new_loss_events = self.detector.on_packet(header.seq, timestamp)
-        if new_loss_events > 0 and not had_loss_before:
-            self._seed_loss_history(self.receive_rate())
+        if new_loss_events > 0:
+            if not had_loss_before:
+                self._seed_loss_history(self.receive_rate())
+            if self.probe is not None:
+                self.probe.emit(
+                    "loss_event", now, receiver_id, new_loss_events, history.loss_event_rate
+                )
 
         # --- feedback round handling
         if header.round_id != self.current_round:
@@ -312,6 +320,8 @@ class TFMCCReceiver(Agent):
         if self.policy.cancels(own_rate, header.fb_rate):
             self._cancel_timer()
             self.feedback_suppressed += 1
+            if self.probe is not None:
+                self.probe.emit("suppressed", self.sim.now, self.receiver_id, self.current_round)
 
     def _on_feedback_timer(self) -> None:
         self._feedback_timer = None

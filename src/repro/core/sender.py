@@ -127,6 +127,12 @@ class TFMCCSender(Agent):
         self._round_best_receiver: Optional[str] = None
         self._round_best_has_loss: bool = False
         self._round_timer: Optional[EventHandle] = None
+        self._round_feedback = 0
+        self._round_nonclr_feedback = 0
+
+        # Optional structured trace sink (repro.metrics.trace.TraceRecorder);
+        # None keeps every probe branch to a single attribute test.
+        self.probe = None
 
         # Slowstart bookkeeping: minimum receive rate reported this round.
         self._slowstart_min_receive: Optional[float] = None
@@ -315,6 +321,18 @@ class TFMCCSender(Agent):
                 / rtt
             )
             self._set_target_rate(self.current_rate + per_round * rtt, limit_increase=False)
+        if self.probe is not None:
+            self.probe.emit(
+                "round",
+                self.sim.now,
+                self.flow_id,
+                self.round_id,
+                self.current_rate_bps,
+                self._round_feedback,
+                self._round_nonclr_feedback,
+            )
+        self._round_feedback = 0
+        self._round_nonclr_feedback = 0
         self.round_id += 1
         self._round_best_rate = None
         self._round_best_receiver = None
@@ -332,6 +350,12 @@ class TFMCCSender(Agent):
             return
         self.feedback_received += 1
         now = self.sim.now
+        self._round_feedback += 1
+        is_clr_report = header.receiver_id == self.clr_id
+        if not is_clr_report:
+            self._round_nonclr_feedback += 1
+        if self.probe is not None:
+            self.probe.emit("feedback", now, self.flow_id, header.receiver_id, is_clr_report)
         if header.is_leave:
             self._handle_leave(header)
             return
@@ -417,6 +441,8 @@ class TFMCCSender(Agent):
         if self.clr_id != receiver:
             self.clr_changes += 1
             self._increase_limited = True
+            if self.probe is not None:
+                self.probe.emit("clr_change", now, self.flow_id, receiver, rate * 8.0)
         self.clr_id = receiver
         self.clr_rate = rate
         self.clr_rtt = rtt if rtt > 0 else self.config.max_rtt

@@ -1,0 +1,55 @@
+"""Metrics subsystem: trace probes, paper metrics and sweep aggregation.
+
+Three layers, lowest first:
+
+* :mod:`repro.metrics.trace` — :class:`TraceRecorder` and probes that stream
+  structured events (feedback rounds, CLR changes, loss events, queue
+  occupancy) out of a running simulation;
+* :mod:`repro.metrics.stats` — pure functions computing the paper's headline
+  quantities (Jain fairness, TCP-friendliness, rate CoV, loss-interval
+  statistics, scaling degradation);
+* :mod:`repro.metrics.aggregate` — grouping and shard-merging aggregation
+  over sweep result records.
+
+The :mod:`repro.report` package composes these into per-figure datasets.
+"""
+
+from repro.metrics.aggregate import (
+    aggregate_field,
+    group_records,
+    load_records,
+    merge_shards,
+    record_param,
+    scaling_points,
+)
+from repro.metrics.stats import (
+    coefficient_of_variation,
+    degradation_curve,
+    jain_fairness,
+    loss_interval_stats,
+    model_tcp_rate_bps,
+    summary_stats,
+    tcp_friendliness_ratio,
+    windowed_fairness,
+)
+from repro.metrics.trace import QueueOccupancyProbe, TraceRecorder, summarise_trace
+
+__all__ = [
+    "TraceRecorder",
+    "QueueOccupancyProbe",
+    "summarise_trace",
+    "jain_fairness",
+    "windowed_fairness",
+    "coefficient_of_variation",
+    "summary_stats",
+    "tcp_friendliness_ratio",
+    "model_tcp_rate_bps",
+    "loss_interval_stats",
+    "degradation_curve",
+    "load_records",
+    "merge_shards",
+    "record_param",
+    "group_records",
+    "aggregate_field",
+    "scaling_points",
+]

@@ -1,0 +1,124 @@
+"""Aggregation of sweep result records across JSONL shards.
+
+Sweeps (and the report runner) persist one JSON record per run.  This module
+turns collections of such records — possibly spread over per-worker shard
+files — into the grouped statistics the figures need: mean/stdev per grid
+point, scaling curves, ratio distributions.
+
+All functions accept plain record dicts, so they work equally on freshly
+computed records and on records re-read from disk.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.metrics.stats import summary_stats
+from repro.scenarios.store import ResultStore
+
+__all__ = [
+    "load_records",
+    "merge_shards",
+    "record_param",
+    "group_records",
+    "aggregate_field",
+    "scaling_points",
+]
+
+KeyFunc = Callable[[Dict[str, Any]], Any]
+
+
+def load_records(paths: Union[str, Sequence[str]], strict: bool = False) -> List[Dict[str, Any]]:
+    """Read records from one or more JSONL files, in path order.
+
+    Truncated/corrupt trailing lines are skipped with a warning unless
+    ``strict`` is set (see :meth:`ResultStore.iter_records`).
+    """
+    if isinstance(paths, str):
+        paths = [paths]
+    records: List[Dict[str, Any]] = []
+    for path in paths:
+        records.extend(ResultStore(path).iter_records(strict=strict))
+    return records
+
+
+def merge_shards(shard_paths: Sequence[str], out_path: str, strict: bool = False) -> int:
+    """Combine per-worker shard files into one canonical store.
+
+    Returns the number of records written to ``out_path``.
+    """
+    return ResultStore(out_path).merge(shard_paths, strict=strict)
+
+
+def record_param(record: Dict[str, Any], name: str, default: Any = None) -> Any:
+    """Look up a run parameter from a record's provenance block."""
+    run = record.get("run") or {}
+    params = run.get("params") or {}
+    return params.get(name, default)
+
+
+def _resolve_key(key: Union[str, KeyFunc]) -> KeyFunc:
+    if callable(key):
+        return key
+    return lambda record: record_param(record, key)
+
+
+def group_records(
+    records: Iterable[Dict[str, Any]], key: Union[str, KeyFunc]
+) -> Dict[Any, List[Dict[str, Any]]]:
+    """Group records by a run parameter name or an arbitrary key function."""
+    resolve = _resolve_key(key)
+    groups: Dict[Any, List[Dict[str, Any]]] = {}
+    for record in records:
+        groups.setdefault(resolve(record), []).append(record)
+    return groups
+
+
+def _field_value(record: Dict[str, Any], field: Union[str, KeyFunc]) -> Optional[float]:
+    if callable(field):
+        value = field(record)
+    else:
+        value = record
+        for part in field.split("."):
+            if not isinstance(value, dict) or part not in value:
+                return None
+            value = value[part]
+    if value is None:
+        return None
+    return float(value)
+
+
+def aggregate_field(
+    records: Iterable[Dict[str, Any]],
+    field: Union[str, KeyFunc],
+    group: Optional[Union[str, KeyFunc]] = None,
+) -> Dict[Any, Dict[str, float]]:
+    """Summary statistics of a (possibly nested, dotted) record field.
+
+    ``field`` is a dotted path (``"trace.feedback.messages"``) or a callable;
+    records where the field is missing are ignored.  With ``group`` the
+    statistics are computed per group key, otherwise under the single key
+    ``None``.
+    """
+    if group is None:
+        grouped: Dict[Any, List[Dict[str, Any]]] = {None: list(records)}
+    else:
+        grouped = group_records(records, group)
+    out: Dict[Any, Dict[str, float]] = {}
+    for key, members in grouped.items():
+        values = [v for v in (_field_value(r, field) for r in members) if v is not None]
+        out[key] = summary_stats(values)
+    return out
+
+
+def scaling_points(
+    records: Iterable[Dict[str, Any]],
+    param: str = "num_receivers",
+    field: Union[str, KeyFunc] = "tfmcc_mean_bps",
+) -> List[Tuple[int, float]]:
+    """Mean of ``field`` per value of ``param``, sorted — a raw scaling curve."""
+    stats = aggregate_field(records, field, group=param)
+    points = [
+        (int(key), s["mean"]) for key, s in stats.items() if key is not None and s["count"] > 0
+    ]
+    return sorted(points)

@@ -1,0 +1,162 @@
+"""Headline metrics of the paper, as pure functions over series and records.
+
+Everything in this module is plain Python over plain numbers: no simulator
+imports, no I/O.  The quantities match the figures of the paper:
+
+* **Jain's fairness index** over flow throughputs (Figures 9/10), including a
+  windowed variant that tracks fairness over time;
+* the **TCP-friendliness ratio** — achieved TFMCC rate over the achieved (or
+  model-predicted) TCP rate on the same path;
+* the **coefficient of variation** of a rate series, the paper's smoothness /
+  responsiveness measure (Figures 11, 20, 21);
+* **loss-interval statistics** mirroring the Section 2.3 loss measurement;
+* **degradation curves** — throughput versus receiver-set size, normalised to
+  the smallest set (Figures 7/17).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.equations import padhye_throughput
+
+__all__ = [
+    "jain_fairness",
+    "windowed_fairness",
+    "coefficient_of_variation",
+    "summary_stats",
+    "tcp_friendliness_ratio",
+    "model_tcp_rate_bps",
+    "loss_interval_stats",
+    "degradation_curve",
+]
+
+
+def jain_fairness(throughputs: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)`` of a set of rates.
+
+    Well-defined on every input: an empty set or an all-zero set returns
+    ``0.0`` (no traffic means no fairness statement), negative and non-finite
+    values are discarded, and the sums are computed on values scaled by the
+    maximum so extreme magnitudes can neither overflow nor underflow to a
+    zero denominator.
+    """
+    values = [float(v) for v in throughputs if v >= 0.0 and math.isfinite(v)]
+    positive = [v for v in values if v > 0.0]
+    if not positive:
+        return 0.0
+    peak = max(positive)
+    total = sum(v / peak for v in positive)
+    squares = sum((v / peak) ** 2 for v in positive)
+    return (total * total) / (len(values) * squares)
+
+
+def windowed_fairness(
+    series_by_flow: Mapping[str, Sequence[float]], window_bins: int = 5
+) -> List[float]:
+    """Jain index per time window over aligned per-bin throughput series.
+
+    ``series_by_flow`` maps a flow id to its per-bin throughput values (all
+    series are expected to start at the same bin; shorter series are padded
+    with zeros).  Each window averages ``window_bins`` consecutive bins per
+    flow and computes the Jain index across flows, producing the
+    fairness-over-time trace behind the Figure 9/10 style plots.
+    """
+    if window_bins < 1:
+        raise ValueError("window_bins must be >= 1")
+    if not series_by_flow:
+        return []
+    length = max(len(s) for s in series_by_flow.values())
+    out: List[float] = []
+    for start in range(0, length, window_bins):
+        end = start + window_bins
+        rates = []
+        for series in series_by_flow.values():
+            chunk = [series[i] for i in range(start, min(end, len(series)))]
+            rates.append(sum(chunk) / window_bins if chunk else 0.0)
+        out.append(jain_fairness(rates))
+    return out
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Population CoV (stdev / mean) of a rate series; 0.0 when undefined.
+
+    The paper uses the CoV of the achieved rate as its smoothness measure; a
+    series that is empty or has non-positive mean has no meaningful CoV and
+    yields 0.0 instead of dividing by zero.
+    """
+    finite = [float(v) for v in values if math.isfinite(v)]
+    if not finite:
+        return 0.0
+    n = len(finite)
+    mean = sum(finite) / n
+    if mean <= 0.0:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in finite) / n
+    return math.sqrt(variance) / mean
+
+
+def summary_stats(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / stdev / min / max / CoV / count of a series (empty-safe)."""
+    finite = [float(v) for v in values if math.isfinite(v)]
+    if not finite:
+        return {"count": 0, "mean": 0.0, "stdev": 0.0, "min": 0.0, "max": 0.0, "cov": 0.0}
+    n = len(finite)
+    mean = sum(finite) / n
+    variance = sum((v - mean) ** 2 for v in finite) / n
+    stdev = math.sqrt(variance)
+    return {
+        "count": n,
+        "mean": mean,
+        "stdev": stdev,
+        "min": min(finite),
+        "max": max(finite),
+        "cov": stdev / mean if mean > 0 else 0.0,
+    }
+
+
+def tcp_friendliness_ratio(tfmcc_bps: float, tcp_bps: float) -> Optional[float]:
+    """Achieved TFMCC rate over achieved TCP rate; None when TCP saw nothing."""
+    if tcp_bps <= 0:
+        return None
+    return tfmcc_bps / tcp_bps
+
+
+def model_tcp_rate_bps(
+    packet_size: float, rtt: float, loss_rate: float, rto: Optional[float] = None
+) -> float:
+    """Model-predicted TCP rate (bits/s) on a path with the given loss rate.
+
+    Evaluates Equation (1) — the same control equation TFMCC runs — so the
+    TCP-friendliness of a measured TFMCC rate can be judged against the model
+    rather than against one particular competing TCP's luck.
+    """
+    return padhye_throughput(packet_size, rtt, loss_rate, rto) * 8.0
+
+
+def loss_interval_stats(intervals: Sequence[float]) -> Dict[str, float]:
+    """Statistics of a loss-interval sequence (packets between loss events).
+
+    Returns mean / CoV / count plus the implied loss event rate (inverse of
+    the mean interval); all values are 0.0 when no interval closed yet.
+    """
+    stats = summary_stats(intervals)
+    mean = stats["mean"]
+    stats["loss_event_rate"] = 1.0 / mean if mean > 0 else 0.0
+    return stats
+
+
+def degradation_curve(points: Sequence[Tuple[int, float]]) -> List[Tuple[int, float, float]]:
+    """Normalise a (receiver-count, throughput) curve to its smallest count.
+
+    Returns ``[(n, throughput, throughput / throughput_at_min_n), ...]``
+    sorted by ``n`` — the shape compared against the Section 3 scaling model
+    in Figure 7.  An empty input returns an empty list; a zero baseline
+    yields ratio 0.0 for every point.
+    """
+    ordered = sorted((int(n), float(v)) for n, v in points)
+    if not ordered:
+        return []
+    baseline = ordered[0][1]
+    return [(n, v, v / baseline if baseline > 0 else 0.0) for n, v in ordered]

@@ -1,0 +1,168 @@
+"""Structured event tracing for simulation runs.
+
+:class:`TraceRecorder` is a channelled append-only event sink: protocol
+agents and probes call :meth:`TraceRecorder.emit` with a channel name, the
+simulation time and a few positional fields.  It replaces the bespoke
+"add another counter to the agent and another field to the record" pattern —
+any component can stream structured events without the collection layer
+knowing about it in advance.
+
+Channels emitted by the built-in probes
+---------------------------------------
+
+``round``        ``(t, flow_id, round_id, rate_bps, feedback, nonclr_feedback)``
+                 one event per completed feedback round (sender).
+``clr_change``   ``(t, flow_id, receiver_id, rate_bps)`` CLR switches (sender).
+``feedback``     ``(t, flow_id, receiver_id, is_clr)`` reports reaching the
+                 sender.
+``loss_event``   ``(t, receiver_id, new_events, loss_event_rate)`` loss events
+                 detected by a receiver.
+``suppressed``   ``(t, receiver_id, round_id)`` feedback timers cancelled by
+                 echoed feedback.
+``queue``        ``(t, link_name, queue_length)`` sampled queue occupancy
+                 (:class:`QueueOccupancyProbe`).
+
+The recorder is deliberately dumb — ordered tuples per channel — so emitting
+is one dict lookup and one list append on the hot path.  Interpretation lives
+in :func:`summarise_trace`, which reduces a finished run's trace to the
+compact JSON-compatible summary embedded in result records.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.stats import loss_interval_stats, summary_stats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids simulator imports
+    from repro.simulator.engine import Simulator
+
+
+class TraceRecorder:
+    """Append-only, channelled event sink for simulation probes.
+
+    Parameters
+    ----------
+    max_events_per_channel:
+        Safety cap per channel; once reached further events on that channel
+        are counted in :attr:`dropped` instead of stored, so a pathological
+        run cannot exhaust memory through tracing.
+    """
+
+    __slots__ = ("_events", "dropped", "max_events_per_channel")
+
+    def __init__(self, max_events_per_channel: int = 500_000):
+        self._events: Dict[str, List[tuple]] = {}
+        self.dropped: Dict[str, int] = {}
+        self.max_events_per_channel = max_events_per_channel
+
+    def emit(self, channel: str, time: float, *fields: Any) -> None:
+        """Record one event on ``channel`` at simulation time ``time``."""
+        events = self._events.get(channel)
+        if events is None:
+            events = self._events[channel] = []
+        if len(events) >= self.max_events_per_channel:
+            self.dropped[channel] = self.dropped.get(channel, 0) + 1
+            return
+        events.append((time,) + fields)
+
+    def events(self, channel: str) -> List[tuple]:
+        """All events of a channel in emission order (empty if unused)."""
+        return self._events.get(channel, [])
+
+    def count(self, channel: str) -> int:
+        return len(self._events.get(channel, ()))
+
+    def channels(self) -> List[str]:
+        return sorted(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped.clear()
+
+
+class QueueOccupancyProbe:
+    """Samples the queue length of a set of links on a fixed interval.
+
+    A single recurring simulator event walks all links, so the per-sample
+    cost is one ``emit`` per link and the data plane itself is untouched.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        recorder: TraceRecorder,
+        links: Sequence[Any],
+        interval: float = 0.5,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.recorder = recorder
+        self.links = list(links)
+        self.interval = interval
+        self._timer = None
+        self.samples = 0
+
+    def start(self, at: float = 0.0) -> None:
+        self._timer = self.sim.schedule_at(max(at, self.sim.now), self._sample)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        emit = self.recorder.emit
+        for link in self.links:
+            emit("queue", now, link.name, link.queue_length)
+        self.samples += 1
+        self._timer = self.sim.reschedule(self._timer, self.interval, self._sample)
+
+
+def summarise_trace(
+    recorder: TraceRecorder,
+    warmup: float = 0.0,
+    loss_intervals: Optional[Sequence[Sequence[float]]] = None,
+) -> Dict[str, Any]:
+    """Reduce a finished run's trace to a JSON-compatible summary.
+
+    Only events at or after ``warmup`` contribute (matching the warmup
+    convention of the throughput metrics).  ``loss_intervals`` optionally
+    supplies the per-receiver closed loss intervals collected at run end, so
+    the summary can include Section-2.3 loss-interval statistics.
+    """
+    rounds = [e for e in recorder.events("round") if e[0] >= warmup]
+    feedback_per_round = [e[4] for e in rounds]
+    nonclr_per_round = [e[5] for e in rounds]
+    rates = [e[3] for e in rounds]
+    queue_samples = [e[2] for e in recorder.events("queue") if e[0] >= warmup]
+    loss_events = [e for e in recorder.events("loss_event") if e[0] >= warmup]
+
+    summary: Dict[str, Any] = {
+        "rounds": len(rounds),
+        "clr_changes": sum(1 for e in recorder.events("clr_change") if e[0] >= warmup),
+        "feedback": {
+            "messages": sum(feedback_per_round),
+            "per_round": summary_stats(feedback_per_round),
+            "nonclr_per_round": summary_stats(nonclr_per_round),
+        },
+        "suppressed": sum(1 for e in recorder.events("suppressed") if e[0] >= warmup),
+        "loss_events": sum(e[2] for e in loss_events),
+        "sender_rate": summary_stats(rates),
+        "queue": summary_stats(queue_samples),
+    }
+    if loss_intervals is not None:
+        merged: List[float] = []
+        receivers_with_loss = 0
+        for intervals in loss_intervals:
+            if intervals:
+                receivers_with_loss += 1
+                merged.extend(intervals)
+        stats = loss_interval_stats(merged)
+        stats["receivers_with_loss"] = receivers_with_loss
+        summary["loss_intervals"] = stats
+    if recorder.dropped:
+        summary["dropped_events"] = dict(sorted(recorder.dropped.items()))
+    return summary

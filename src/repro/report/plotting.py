@@ -1,0 +1,144 @@
+"""Matplotlib rendering of figure reports (optional dependency).
+
+matplotlib is deliberately **not** a requirement of the package: the report
+runner always writes CSV/JSON datasets, and :func:`render_figure` simply
+returns False when matplotlib cannot be imported (the CI report job installs
+it; minimal environments skip the PNGs).
+
+Styling follows the data-viz ground rules: a fixed-order categorical palette
+(validated for colour-vision-deficiency separation), one y-axis per chart,
+thin marks, a recessive grid, a legend whenever more than one series is
+shown, and the analytical overlay drawn as a dashed model line in the second
+palette slot so simulation and model are separable without colour.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.report.runner import FigureReport
+
+#: Fixed-order categorical palette (light surface): blue, orange, aqua,
+#: yellow — assigned to series in order, never cycled or re-ranked.
+PALETTE = ["#2a78d6", "#eb6834", "#1baf7a", "#eda100"]
+SURFACE = "#fcfcfb"
+TEXT_PRIMARY = "#0b0b0b"
+TEXT_SECONDARY = "#52514e"
+GRID = "#d9d8d4"
+
+
+def _ensure_matplotlib():
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+
+        return plt
+    except ImportError:
+        return None
+
+
+def _column(rows: List[Dict[str, Any]], key: str) -> List[Any]:
+    return [row.get(key) for row in rows]
+
+
+def render_figure(report: "FigureReport", out_path: str) -> bool:
+    """Render one figure report to ``out_path``; False if matplotlib missing."""
+    plt = _ensure_matplotlib()
+    if plt is None:
+        return False
+    spec = report.figure.plot
+    dataset = report.data.dataset
+    overlay = report.data.overlay
+    fig, ax = plt.subplots(figsize=(6.4, 4.0), dpi=150)
+    fig.patch.set_facecolor(SURFACE)
+    ax.set_facecolor(SURFACE)
+
+    series_index = 0
+    if spec.kind == "bar" and dataset:
+        # One bar per row; colour carries the row's entity kind (fixed
+        # mapping, independent of row order), with a surface-coloured gap.
+        kinds = []
+        for row in dataset:
+            kind = row.get("kind", "value")
+            if kind not in kinds:
+                kinds.append(kind)
+        kind_colour = {kind: PALETTE[i % len(PALETTE)] for i, kind in enumerate(kinds)}
+        labels = [str(row.get(spec.x, "")) for row in dataset]
+        if len(set(labels)) < len(labels):
+            # The same category can appear once per seed (e.g. the
+            # smoothness figure in full mode); categorical bars at the same
+            # label would overdraw, so disambiguate with the seed.
+            labels = [
+                f"{label} s{row['seed']}" if "seed" in row else label
+                for label, row in zip(labels, dataset)
+            ]
+        for y_key in spec.ys:
+            values = [row.get(y_key, 0.0) for row in dataset]
+            colours = [kind_colour[row.get("kind", "value")] for row in dataset]
+            ax.bar(labels, values, color=colours, width=0.72, edgecolor=SURFACE, linewidth=1.5)
+        if len(kinds) > 1:
+            from matplotlib.patches import Patch
+
+            ax.legend(
+                handles=[Patch(facecolor=kind_colour[k], label=k) for k in kinds],
+                frameon=False,
+                labelcolor=TEXT_PRIMARY,
+            )
+        ax.tick_params(axis="x", rotation=45)
+    else:
+        for y_key in spec.ys:
+            ax.plot(
+                _column(dataset, spec.x),
+                _column(dataset, y_key),
+                color=PALETTE[series_index % len(PALETTE)],
+                linewidth=1.8,
+                marker="o",
+                markersize=4.5,
+                label=y_key.replace("_", " "),
+            )
+            series_index += 1
+        for y_key in spec.overlay_ys:
+            ax.plot(
+                _column(overlay, spec.x),
+                _column(overlay, y_key),
+                color=PALETTE[series_index % len(PALETTE)],
+                linewidth=1.8,
+                linestyle="--",
+                marker="s",
+                markersize=4.0,
+                label=y_key.replace("_", " ") + " (model)",
+            )
+            series_index += 1
+        if series_index > 1:
+            ax.legend(frameon=False, labelcolor=TEXT_PRIMARY)
+        if spec.logx:
+            from matplotlib.ticker import ScalarFormatter
+
+            ax.set_xscale("log", base=2)
+            xs = [x for x in _column(dataset, spec.x) if x is not None]
+            if xs:
+                ax.set_xticks(xs)
+                ax.get_xaxis().set_major_formatter(ScalarFormatter())
+
+    ax.set_xlabel(spec.xlabel or spec.x, color=TEXT_SECONDARY)
+    ax.set_ylabel(spec.ylabel, color=TEXT_SECONDARY)
+    mode = "quick" if report.quick else "full"
+    ax.set_title(
+        f"{report.figure.title}  [{report.figure.paper_figures}, {mode}]",
+        color=TEXT_PRIMARY,
+        fontsize=11,
+    )
+    ax.grid(True, color=GRID, linewidth=0.6)
+    ax.set_axisbelow(True)
+    for spine in ("top", "right"):
+        ax.spines[spine].set_visible(False)
+    for spine in ("left", "bottom"):
+        ax.spines[spine].set_color(GRID)
+    ax.tick_params(colors=TEXT_SECONDARY)
+    fig.tight_layout()
+    fig.savefig(out_path, facecolor=SURFACE)
+    plt.close(fig)
+    return True

@@ -17,6 +17,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import TFMCCConfig
 from repro.experiments.common import add_tcp_flow
+from repro.metrics.trace import QueueOccupancyProbe, TraceRecorder, summarise_trace
 from repro.scenarios.spec import (
     ChainSpec,
     CustomSpec,
@@ -158,6 +159,8 @@ class BuiltScenario:
     #: Receiver ids per session, in spec order (including scheduled joiners).
     receiver_ids: List[List[str]] = field(default_factory=list)
     background: Dict[str, Tuple[Any, TrafficSink]] = field(default_factory=dict)
+    #: Structured trace sink; set when the spec (or caller) asked for tracing.
+    recorder: Optional[TraceRecorder] = None
 
     def run(self) -> float:
         """Run the simulation to the scenario's configured duration."""
@@ -172,17 +175,30 @@ def build_scenario(
     spec: ScenarioSpec,
     seed: int = 1,
     config: Optional[TFMCCConfig] = None,
+    recorder: Optional[TraceRecorder] = None,
 ) -> BuiltScenario:
     """Materialise ``spec`` into a ready-to-run simulation.
 
     ``config`` optionally overrides the TFMCC protocol configuration of every
     session (the protocol parameters are deliberately not part of the
-    scenario spec; ablations pass them separately).
+    scenario spec; ablations pass them separately).  ``recorder`` attaches
+    the structured trace probes; when None, ``spec.metrics.with_trace``
+    creates one implicitly so that tracing also works through the
+    multiprocessing sweep path (the recorder itself stays in the worker, the
+    record carries its summary).
     """
     sim = Simulator(seed=seed)
     network = build_network(sim, spec.topology)
     monitor = ThroughputMonitor(sim, interval=spec.metrics.interval)
-    built = BuiltScenario(spec=spec, seed=seed, sim=sim, network=network, monitor=monitor)
+    if recorder is None and spec.metrics.with_trace:
+        recorder = TraceRecorder()
+    built = BuiltScenario(
+        spec=spec, seed=seed, sim=sim, network=network, monitor=monitor, recorder=recorder
+    )
+    if recorder is not None and network.links:
+        QueueOccupancyProbe(
+            sim, recorder, network.links, interval=spec.metrics.trace_queue_interval
+        ).start()
 
     for flow_index, flow in enumerate(spec.tfmcc):
         # An explicit session name keeps flow/receiver ids deterministic:
@@ -195,6 +211,7 @@ def build_scenario(
             config=config,
             monitor=monitor,
             name=flow.name or f"tfmcc{flow_index}",
+            probe=recorder,
         )
         rids: List[str] = []
         # Receivers with join_at=0 are created at build time, before the
@@ -305,6 +322,15 @@ def collect_record(built: BuiltScenario) -> Dict[str, Any]:
         }
     if spec.metrics.with_series:
         record["series"] = series
+    if built.recorder is not None:
+        loss_intervals = [
+            receiver.history.intervals
+            for session in built.sessions
+            for receiver in session.receivers.values()
+        ]
+        record["trace"] = summarise_trace(
+            built.recorder, warmup=t_start, loss_intervals=loss_intervals
+        )
     return record
 
 
@@ -312,8 +338,9 @@ def run_scenario(
     spec: ScenarioSpec,
     seed: int = 1,
     config: Optional[TFMCCConfig] = None,
+    recorder: Optional[TraceRecorder] = None,
 ) -> Dict[str, Any]:
     """Build, run and summarise ``spec`` — deterministic in (spec, seed)."""
-    built = build_scenario(spec, seed=seed, config=config)
+    built = build_scenario(spec, seed=seed, config=config, recorder=recorder)
     built.run()
     return built.collect()

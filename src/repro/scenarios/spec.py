@@ -279,12 +279,21 @@ class BackgroundFlowSpec:
 
 @dataclass(frozen=True)
 class MetricsSpec:
-    """What to measure and how to summarise it."""
+    """What to measure and how to summarise it.
+
+    ``with_trace`` attaches the structured trace probes
+    (:mod:`repro.metrics.trace`) to the run — feedback rounds, CLR changes,
+    loss events, suppression and sampled queue occupancy — and embeds their
+    deterministic summary under the record's ``"trace"`` key.
+    ``trace_queue_interval`` is the queue-occupancy sampling period.
+    """
 
     interval: float = 1.0
     warmup_fraction: float = 0.25
     with_series: bool = False
     link_stats: bool = True
+    with_trace: bool = False
+    trace_queue_interval: float = 0.5
 
 
 # -------------------------------------------------------------------- scenario

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, Iterable, Iterator, List
+import warnings
+from typing import Any, Dict, Iterable, Iterator, List, Sequence
 
 
 def encode_record(record: Dict[str, Any]) -> str:
@@ -39,14 +40,55 @@ class ResultStore:
                 count += 1
         return count
 
-    def __iter__(self) -> Iterator[Dict[str, Any]]:
+    def iter_records(self, strict: bool = False) -> Iterator[Dict[str, Any]]:
+        """Iterate over records in file order.
+
+        A sweep worker that is killed mid-write leaves a truncated final
+        line; with ``strict=False`` (the default) such corrupt lines are
+        skipped with a :class:`RuntimeWarning` so the surviving records stay
+        usable for aggregation.  ``strict=True`` raises instead.
+        """
         if not os.path.exists(self.path):
             return
         with open(self.path, "r", encoding="utf-8") as fh:
-            for line in fh:
+            for lineno, line in enumerate(fh, start=1):
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                try:
                     yield json.loads(line)
+                except json.JSONDecodeError:
+                    if strict:
+                        raise
+                    warnings.warn(
+                        f"{self.path}:{lineno}: skipping truncated/corrupt JSONL line",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return self.iter_records(strict=True)
+
+    def merge(self, paths: Sequence[str], strict: bool = False) -> int:
+        """Append the records of per-worker shard files into this store.
+
+        Shards are consumed in the given path order (record order within a
+        shard is preserved); corrupt trailing lines are skipped per
+        :meth:`iter_records`.  Returns the number of records appended.
+        """
+        own = os.path.abspath(self.path)
+        for path in paths:
+            if os.path.abspath(path) == own:
+                # Shards are read lazily while appending: reading the
+                # destination would re-consume every line it just wrote and
+                # never terminate.
+                raise ValueError(f"cannot merge a store into itself: {path}")
+
+        def _records() -> Iterator[Dict[str, Any]]:
+            for path in paths:
+                yield from ResultStore(path).iter_records(strict=strict)
+
+        return self.append_many(_records())
 
     def read(self) -> List[Dict[str, Any]]:
         """All records currently in the store."""

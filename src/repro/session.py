@@ -52,6 +52,10 @@ class TFMCCSession:
         flow id.
     name:
         Session name used to derive flow / group / receiver identifiers.
+    probe:
+        Optional :class:`repro.metrics.trace.TraceRecorder`; when set, the
+        sender and every receiver (including ones joining later through the
+        membership schedule) stream structured trace events into it.
     """
 
     def __init__(
@@ -62,11 +66,13 @@ class TFMCCSession:
         config: Optional[TFMCCConfig] = None,
         monitor: Optional[ThroughputMonitor] = None,
         name: Optional[str] = None,
+        probe=None,
     ):
         self.sim = sim
         self.network = network
         self.config = config if config is not None else TFMCCConfig()
         self.monitor = monitor
+        self.probe = probe
         # Default names come from a per-simulator counter so that identical
         # runs in one process build identically-named sessions (module-level
         # counters would leak state between runs).
@@ -78,6 +84,7 @@ class TFMCCSession:
         self.sender = TFMCCSender(
             sim, self.flow_id, self.group_id, config=self.config, monitor=monitor
         )
+        self.sender.probe = self.probe
         network.attach(sender_node, self.sender)
         self.group = MulticastGroup(network, self.group_id, sender_node)
         self.receivers: Dict[str, TFMCCReceiver] = {}
@@ -109,6 +116,7 @@ class TFMCCSession:
             monitor=self.monitor,
             clock_offset=clock_offset,
         )
+        receiver.probe = self.probe
         self.network.attach(node_id, receiver)
         self.group.join(node_id, receiver)
         self.receivers[rid] = receiver

@@ -30,7 +30,13 @@ class FlowStats:
 
     @classmethod
     def from_series(cls, values: Sequence[float]) -> "FlowStats":
-        """Compute statistics for a list of per-interval throughputs."""
+        """Compute statistics for a list of per-interval throughputs.
+
+        Well-defined on degenerate inputs: an empty series (or one with no
+        finite values) yields all-zero statistics, and non-finite values are
+        discarded so one bad bin cannot poison every aggregate.
+        """
+        values = [float(v) for v in values if math.isfinite(v)]
         if not values:
             return cls(0.0, 0.0, 0.0, 0.0, 0.0)
         n = len(values)
@@ -132,11 +138,14 @@ class ThroughputMonitor:
 def fairness_index(throughputs: Sequence[float]) -> float:
     """Jain's fairness index of a set of average throughputs.
 
-    Returns a value in (0, 1]; 1 means perfectly equal shares.
+    Returns a value in (0, 1]; 1 means perfectly equal shares.  Degenerate
+    inputs (empty, all-zero, tiny values whose squares underflow) are
+    handled by the canonical implementation in :mod:`repro.metrics.stats`;
+    this alias remains for backwards compatibility.
     """
-    values = [v for v in throughputs if v >= 0]
-    if not values or all(v == 0 for v in values):
-        return 0.0
-    total = sum(values)
-    squares = sum(v * v for v in values)
-    return (total * total) / (len(values) * squares)
+    # Imported lazily: repro.metrics's package __init__ pulls in the
+    # aggregation layer (and with it the scenario store), which itself
+    # depends on this module — a module-level import would be circular.
+    from repro.metrics.stats import jain_fairness
+
+    return jain_fairness(throughputs)

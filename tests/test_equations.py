@@ -7,6 +7,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.equations import (
+    MAX_LOSS_RATE,
+    MIN_LOSS_RATE,
     loss_events_per_rtt,
     mathis_loss_rate,
     mathis_throughput,
@@ -67,6 +69,44 @@ def test_loss_rate_clamping():
     # Zero / negative loss rates are clamped rather than dividing by zero.
     assert padhye_throughput(1000, 0.05, 0.0) > 0
     assert mathis_throughput(1000, 0.05, 0.0) > 0
+
+
+def test_loss_rate_to_zero_caps_at_min_loss_rate():
+    # As p -> 0 the models cap at the MIN_LOSS_RATE evaluation instead of
+    # diverging: every sub-threshold p gives exactly the capped value.
+    cap = padhye_throughput(1000, 0.05, MIN_LOSS_RATE)
+    for p in (0.0, 1e-300, MIN_LOSS_RATE / 2, MIN_LOSS_RATE):
+        assert padhye_throughput(1000, 0.05, p) == cap
+        assert math.isfinite(padhye_throughput(1000, 0.05, p))
+    assert mathis_throughput(1000, 0.05, 0.0) == mathis_throughput(1000, 0.05, MIN_LOSS_RATE)
+
+
+def test_loss_rate_above_one_caps_at_max_loss_rate():
+    assert padhye_throughput(1000, 0.05, 5.0) == padhye_throughput(1000, 0.05, MAX_LOSS_RATE)
+    assert mathis_loss_rate(1000, 0.05, 1e-12) == MAX_LOSS_RATE
+
+
+def test_tiny_rtt_stays_finite_and_scales():
+    # Sub-millisecond (LAN-class) RTTs: finite, positive and ~1/RTT.
+    tiny = padhye_throughput(1000, 1e-6, 0.01)
+    assert math.isfinite(tiny) and tiny > 0
+    assert tiny == pytest.approx(1e3 * padhye_throughput(1000, 1e-3, 0.01), rel=1e-9)
+    assert mathis_throughput(1000, 1e-6, 0.01) > 0
+
+
+def test_mathis_roundtrip_across_decades():
+    for p in (1e-6, 1e-4, 1e-2, 0.25, 0.9):
+        rate = mathis_throughput(1000, 0.05, p)
+        assert mathis_loss_rate(1000, 0.05, rate) == pytest.approx(p, rel=1e-9)
+
+
+def test_padhye_mathis_cross_inversion_is_conservative():
+    # Inverting the optimistic Mathis model for a rate produced by the full
+    # model must yield a loss rate at least as large (Appendix B argument
+    # for the loss-history initialisation being slightly conservative).
+    for p in (1e-4, 1e-3, 0.01, 0.1):
+        rate = padhye_throughput(1000, 0.05, p)
+        assert mathis_loss_rate(1000, 0.05, rate) >= p * (1 - 1e-9)
 
 
 def test_invalid_arguments():

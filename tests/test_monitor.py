@@ -73,3 +73,17 @@ def test_fairness_index_unequal_shares():
 def test_fairness_index_degenerate():
     assert fairness_index([]) == 0.0
     assert fairness_index([0.0, 0.0]) == 0.0
+
+
+def test_fairness_index_extreme_magnitudes():
+    # Tiny rates whose squares underflow float64 used to divide by zero.
+    assert fairness_index([1e-200, 1e-200, 1e-200]) == pytest.approx(1.0)
+    assert fairness_index([1e300, 1e300]) == pytest.approx(1.0)
+    # Non-finite values are discarded (and do not count towards n).
+    assert fairness_index([float("nan"), 1.0]) == pytest.approx(1.0)
+
+
+def test_flow_stats_all_zero_series():
+    stats = FlowStats.from_series([0.0, 0.0, 0.0])
+    assert stats.mean == 0.0 and stats.median == 0.0
+    assert stats.coefficient_of_variation == 0.0
