@@ -37,7 +37,7 @@ from repro.bench import DEFAULT_OUT_DIR as BENCH_OUT_DIR, DEFAULT_THRESHOLD as B
 
 # Mirrors repro.report.runner.DEFAULT_OUT_DIR; the report package (and its
 # scipy/matplotlib-needing dependencies) is imported lazily in cmd_report so
-# the rest of the CLI keeps its networkx-only footprint.
+# the rest of the CLI keeps its stdlib-only footprint.
 REPORT_OUT_DIR = os.path.join("results", "figures")
 from repro.scenarios.registry import get_scenario, scenarios
 from repro.scenarios.build import run_scenario
@@ -95,10 +95,21 @@ def _summarise(record: Dict[str, Any], out=None) -> None:
     print(f"fairness : {record['fairness_index']:10.3f}  (Jain index)", file=out)
     if "links" in record:
         links = record["links"]
+        down = (
+            f", {links['down_drops']} down-link drops" if "down_drops" in links else ""
+        )
         print(
             f"loss     : {links['queue_drops']} queue drops, "
-            f"{links['random_drops']} random drops "
+            f"{links['random_drops']} random drops{down} "
             f"({links['packets_sent']} packets forwarded)",
+            file=out,
+        )
+    dynamics = record.get("trace", {}).get("dynamics")
+    if dynamics:
+        print(
+            f"dynamics : {len(dynamics['events'])} scripted events, "
+            f"{dynamics['route_rebuilds']} route rebuilds, "
+            f"{len(dynamics['clr_switches'])} CLR switches",
             file=out,
         )
     for flow in record["flows"]:

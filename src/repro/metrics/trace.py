@@ -21,6 +21,12 @@ Channels emitted by the built-in probes
                  echoed feedback.
 ``queue``        ``(t, link_name, queue_length)`` sampled queue occupancy
                  (:class:`QueueOccupancyProbe`).
+``dynamics``     ``(t, kind, target)`` time-scripted network events applied
+                 by the scenario builder (link failures, parameter steps,
+                 membership churn).
+``route_rebuild`` ``(t, reason, topology_version)`` unicast-route rebuilds
+                 (and multicast re-grafts) triggered by live topology
+                 changes (emitted by ``Network``).
 
 The recorder is deliberately dumb — ordered tuples per channel — so emitting
 is one dict lookup and one list append on the hot path.  Interpretation lives
@@ -153,6 +159,21 @@ def summarise_trace(
         "sender_rate": summary_stats(rates),
         "queue": summary_stats(queue_samples),
     }
+    dynamics_events = recorder.events("dynamics")
+    route_rebuilds = recorder.events("route_rebuild")
+    if dynamics_events or route_rebuilds:
+        # Time-resolved detail for the responsiveness analysis: when did the
+        # scripted events fire, when were routes rebuilt, when did the CLR
+        # switch and how did the sender rate evolve round by round.  Only
+        # present for dynamics runs, so static-run summaries are unchanged.
+        # Each entry carries the sender flow id (last element) so multi-flow
+        # scenarios stay distinguishable after the reduction.
+        summary["dynamics"] = {
+            "events": [list(e) for e in dynamics_events],
+            "route_rebuilds": len(route_rebuilds),
+            "clr_switches": [[e[0], e[2], e[1]] for e in recorder.events("clr_change")][:500],
+            "rate_series": [[e[0], e[3], e[1]] for e in recorder.events("round")][:2000],
+        }
     if loss_intervals is not None:
         merged: List[float] = []
         receivers_with_loss = 0

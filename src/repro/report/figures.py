@@ -7,7 +7,7 @@ analytical overlay, and the declared tolerances its ``--check`` assertions
 use.  Tolerances come in a ``quick`` and a ``full`` flavour: quick runs are
 CI-sized (tens of simulated seconds) and therefore noisier.
 
-The four figures cover the paper's headline claims:
+The five figures cover the paper's headline claims:
 
 ``fairness``    Figure 9 — TFMCC vs N TCPs on one bottleneck: Jain index and
                 the TCP-friendliness ratio, against the equal-share model.
@@ -19,6 +19,10 @@ The four figures cover the paper's headline claims:
 ``feedback``    Figures 4/6 — feedback messages per round vs receiver count,
                 bounded by the exponential-suppression model
                 (:mod:`repro.analysis.feedback_model`).
+``responsiveness`` Figures 13-19 theme — reaction time to scripted network
+                dynamics (link failure + reroute, bandwidth step, loss
+                step): the sender must adopt the new constraint within a
+                few feedback rounds.
 """
 
 from __future__ import annotations
@@ -533,6 +537,192 @@ def _feedback_build(records: List[Dict[str, Any]], quick: bool) -> FigureData:
         checks=checks,
         extras={"max_delay_rtts": max_delay_rtts, "round_duration_s": round_duration_s},
     )
+
+
+# -------------------------------------------------- figure: responsiveness
+
+
+def _responsiveness_requests(quick: bool) -> List[RunRequest]:
+    # The scenarios' default event times already sit past the slowstart
+    # ramp; durations cannot shrink much below the defaults, so quick mode
+    # trims the seed set and the scenario list instead.
+    seeds = [1] if quick else [1, 2]
+    scenarios = ["link_failure_reroute", "bandwidth_step"]
+    if not quick:
+        scenarios.append("loss_step_responsiveness")
+    params: Dict[str, Dict[str, Any]] = {
+        # Explicit values for everything the reduction needs, so the build
+        # never has to assume registry defaults.
+        "bandwidth_step": {"bottleneck_bps": 2e6, "step_factor": 0.4, "restore_at": 38.0},
+    }
+    return [
+        RunRequest(scenario, dict(params.get(scenario, {})), seed)
+        for scenario in scenarios
+        for seed in seeds
+    ]
+
+
+#: Feedback-round duration of the default protocol configuration; the
+#: natural unit of the paper's "reaction within a few RTTs" claim at the
+#: configured feedback delay (T = feedback_rtts * max_rtt).
+def _round_duration_s() -> float:
+    cfg = TFMCCConfig()
+    return cfg.feedback_delay + cfg.max_rtt
+
+
+def _first_event(trace_dynamics: Dict[str, Any]) -> Optional[List[Any]]:
+    events = trace_dynamics.get("events") or []
+    return events[0] if events else None
+
+
+def _reaction_from_clr(trace_dynamics: Dict[str, Any], event_t: float) -> Optional[float]:
+    """Seconds from the event to the first CLR switch at or after it.
+
+    Entries are ``[t, receiver_id, flow_id]``; the responsiveness scenarios
+    run a single TFMCC flow, so no flow filter is needed here.
+    """
+    for entry in trace_dynamics.get("clr_switches", []):
+        if entry[0] >= event_t:
+            return entry[0] - event_t
+    return None
+
+
+def _reaction_from_rate(
+    trace_dynamics: Dict[str, Any], event_t: float, threshold_bps: float
+) -> Optional[float]:
+    """Seconds from the event until the sender rate (``[t, rate, flow]``
+    entries) first drops under the stepped capacity."""
+    for entry in trace_dynamics.get("rate_series", []):
+        if entry[0] >= event_t and entry[1] <= threshold_bps:
+            return entry[0] - event_t
+    return None
+
+
+def _responsiveness_build(records: List[Dict[str, Any]], quick: bool) -> FigureData:
+    tol = FIG_RESPONSIVENESS.tol(quick)
+    round_s = _round_duration_s()
+    reaction_max = tol["reaction_rounds_max"] * round_s
+    dataset: List[Dict[str, Any]] = []
+    overlay: List[Dict[str, Any]] = []
+    checks: List[Check] = []
+    for record in records:
+        scenario = record["scenario"]
+        seed = record["seed"]
+        case = f"{scenario}/seed{seed}"
+        dyn = record.get("trace", {}).get("dynamics")
+        if not dyn or not dyn.get("events"):
+            checks.append(
+                Check(
+                    name=f"dynamics_traced({case})",
+                    passed=False,
+                    detail="record has no dynamics trace — scenario did not script events",
+                )
+            )
+            continue
+        event = _first_event(dyn)
+        event_t = event[0]
+        rebuilds = dyn.get("route_rebuilds", 0)
+        if scenario == "bandwidth_step":
+            bottleneck = record_param(record, "bottleneck_bps", 2e6)
+            step_factor = record_param(record, "step_factor", 0.4)
+            stepped_bps = bottleneck * step_factor
+            # Reacted once the sending rate is at or below the new capacity.
+            reaction = _reaction_from_rate(dyn, event_t, stepped_bps)
+            restore_at = record_param(record, "restore_at", None)
+            if reaction is not None and restore_at is not None:
+                adapted = [
+                    entry[1]
+                    for entry in dyn.get("rate_series", [])
+                    if event_t + reaction <= entry[0] < restore_at
+                ]
+                adapted_mean = _mean(adapted)
+                checks.append(
+                    _bounds_check(
+                        f"adapted_rate({case})",
+                        adapted_mean,
+                        0.0,
+                        stepped_bps * tol["adapted_headroom"],
+                    )
+                )
+        else:
+            # Link failure / loss step: reaction is the CLR hand-off.
+            reaction = _reaction_from_clr(dyn, event_t)
+        if scenario == "link_failure_reroute":
+            checks.append(
+                Check(
+                    name=f"route_rebuilds({case})",
+                    passed=rebuilds >= 1,
+                    detail=f"{rebuilds} route rebuilds traced (need >= 1)",
+                )
+            )
+        checks.append(
+            Check(
+                name=f"reaction({case})",
+                passed=reaction is not None and reaction <= reaction_max,
+                detail=(
+                    f"reaction {reaction:.2f} s <= {reaction_max:.2f} s "
+                    f"({tol['reaction_rounds_max']:.1f} feedback rounds)"
+                    if reaction is not None
+                    else "no reaction observed after the event"
+                ),
+            )
+        )
+        dataset.append(
+            {
+                "case": case,
+                "scenario": scenario,
+                "seed": seed,
+                "event_t": event_t,
+                "event_kind": event[1],
+                "reaction_s": reaction,
+                "reaction_rounds": (reaction / round_s) if reaction is not None else None,
+                "route_rebuilds": rebuilds,
+                "clr_switches": len(dyn.get("clr_switches", [])),
+                "down_drops": record.get("links", {}).get("down_drops", 0),
+            }
+        )
+        overlay.append(
+            {"case": case, "expected_reaction_s": tol["model_rounds"] * round_s}
+        )
+    return FigureData(
+        dataset=dataset,
+        overlay=overlay,
+        checks=checks,
+        extras={"round_duration_s": round_s, "reaction_max_s": reaction_max},
+    )
+
+
+FIG_RESPONSIVENESS = register_figure(
+    FigureDef(
+        name="responsiveness",
+        title="Reaction time to scripted network dynamics",
+        paper_figures="Figures 13-19 (responsiveness theme)",
+        description=(
+            "Time-scripted link failure (reroute + multicast re-graft), "
+            "bottleneck bandwidth step and loss-rate step: seconds until the "
+            "sender adopts the new constraint (CLR hand-off or rate at the "
+            "new capacity), in units of the feedback-round duration."
+        ),
+        requests=_responsiveness_requests,
+        build=_responsiveness_build,
+        plot=PlotSpec(
+            x="case",
+            ys=["reaction_s"],
+            overlay_ys=["expected_reaction_s"],
+            xlabel="scenario / seed",
+            ylabel="reaction time (s)",
+            kind="bar",
+        ),
+        tolerances={
+            # Reaction bounds in feedback-round units (one round is
+            # feedback_delay + max_rtt = 2.5 s at paper defaults); the
+            # paper's step-response plots settle within a couple of rounds,
+            # noisy quick runs get more headroom.
+            "quick": {"reaction_rounds_max": 5.0, "model_rounds": 2.0, "adapted_headroom": 1.6},
+            "full": {"reaction_rounds_max": 4.5, "model_rounds": 2.0, "adapted_headroom": 1.5},
+        },
+    )
+)
 
 
 FIG_FEEDBACK = register_figure(

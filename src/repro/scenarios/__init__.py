@@ -26,10 +26,12 @@ from repro.scenarios.spec import (
     CustomSpec,
     DumbbellSpec,
     DuplexLinkSpec,
+    DynamicsSpec,
     EdgeSpec,
     GilbertElliottSpec,
     ImpairmentSpec,
     MetricsSpec,
+    NetworkEventSpec,
     ReceiverSpec,
     ScenarioSpec,
     StarSpec,
@@ -47,10 +49,12 @@ __all__ = [
     "CustomSpec",
     "DumbbellSpec",
     "DuplexLinkSpec",
+    "DynamicsSpec",
     "EdgeSpec",
     "GilbertElliottSpec",
     "ImpairmentSpec",
     "MetricsSpec",
+    "NetworkEventSpec",
     "ReceiverSpec",
     "ResultStore",
     "ScenarioFactory",

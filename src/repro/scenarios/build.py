@@ -24,6 +24,7 @@ from repro.scenarios.spec import (
     DumbbellSpec,
     DuplexLinkSpec,
     ImpairmentSpec,
+    NetworkEventSpec,
     ScenarioSpec,
     StarSpec,
     TopologySpec,
@@ -79,9 +80,9 @@ def _install_routes(net: Network, topo: TopologySpec) -> None:
             _ROUTE_CACHE.clear()
         _ROUTE_CACHE[topo] = {nid: dict(node.routes) for nid, node in net.nodes.items()}
         return
-    for nid, node in net.nodes.items():
-        node.routes.clear()
-        node.routes.update(cached[nid])
+    # set_routes (not raw dict updates) so the network knows routing is
+    # live and rebuilds it on dynamic topology changes.
+    net.set_routes(cached)
 
 
 def build_network(sim: Simulator, topo: TopologySpec) -> Network:
@@ -146,6 +147,99 @@ def build_network(sim: Simulator, topo: TopologySpec) -> Network:
     return net
 
 
+# ----------------------------------------------------------------- dynamics
+
+
+def _event_links(net: Network, event: NetworkEventSpec) -> List[Any]:
+    """Resolve the link direction(s) a link event applies to (fail fast)."""
+    pairs = []
+    if event.direction in ("both", "forward"):
+        pairs.append((event.a, event.b))
+    if event.direction in ("both", "reverse"):
+        pairs.append((event.b, event.a))
+    links = []
+    for src, dst in pairs:
+        link = net.link_between(src, dst)
+        if link is None:
+            raise ValueError(
+                f"dynamics event {event.kind!r} at t={event.at}: "
+                f"no link {src!r}->{dst!r} in the topology"
+            )
+        links.append(link)
+    return links
+
+
+def _apply_link_event(built: "BuiltScenario", event: NetworkEventSpec) -> None:
+    net = built.network
+    if built.recorder is not None:
+        built.recorder.emit("dynamics", built.sim.now, event.kind, event.target)
+    if event.kind == "link_down":
+        net.fail_link(event.a, event.b)
+        return
+    if event.kind == "link_up":
+        net.restore_link(event.a, event.b)
+        return
+    links = _event_links(net, event)
+    if event.bandwidth is not None:
+        for link in links:
+            link.set_bandwidth(event.bandwidth)
+    if event.loss_rate is not None:
+        for link in links:
+            link.set_loss_rate(event.loss_rate)
+    if event.gilbert_elliott is not None:
+        ge = event.gilbert_elliott
+        for link in links:
+            link.set_loss_model(
+                GilbertElliottLoss(ge.p_good_bad, ge.p_bad_good, ge.loss_good, ge.loss_bad)
+            )
+    if event.delay is not None:
+        # Delay is the routing weight: routes and trees rebuild.
+        net.set_link_delay(event.a, event.b, event.delay)
+
+
+def _apply_member_event(
+    built: "BuiltScenario", event: NetworkEventSpec, session: TFMCCSession, receiver_id: str
+) -> None:
+    if built.recorder is not None:
+        built.recorder.emit("dynamics", built.sim.now, event.kind, receiver_id)
+    if event.kind == "receiver_join":
+        session.add_receiver(event.node, receiver_id=receiver_id)
+    else:
+        session.remove_receiver(receiver_id)
+
+
+def _schedule_dynamics(built: "BuiltScenario") -> None:
+    """Schedule every dynamics event; same-time events fire in spec order.
+
+    Scheduling happens once at build time (in spec order), so the event
+    sequence — and with it every downstream RNG draw — is identical across
+    processes and executions.
+    """
+    spec, sim, net = built.spec, built.sim, built.network
+    flow_names = [session.name for session in built.sessions]
+    sessions = dict(zip(flow_names, built.sessions))
+    for index, event in enumerate(spec.dynamics.events):
+        if event.kind in ("receiver_join", "receiver_leave"):
+            flow = event.flow if event.flow is not None else flow_names[0]
+            session = sessions.get(flow)
+            if session is None:
+                raise ValueError(
+                    f"dynamics event at t={event.at} references unknown TFMCC "
+                    f"flow {flow!r} (flows: {', '.join(flow_names) or 'none'})"
+                )
+            if event.kind == "receiver_join":
+                # Pre-assign the receiver id so the metrics layer knows all
+                # flows up front (the receiver object is created at join time).
+                rid = event.receiver_id or f"{session.name}-dyn{index}"
+                built.receiver_ids[flow_names.index(flow)].append(rid)
+            else:
+                rid = event.receiver_id
+            sim.schedule_at(event.at, _apply_member_event, built, event, session, rid)
+        else:
+            _event_links(net, event)  # validate endpoints at build time
+            sim.schedule_at(event.at, _apply_link_event, built, event)
+
+
 @dataclass
 class BuiltScenario:
     """A scenario materialised into live simulator objects, ready to run."""
@@ -195,6 +289,9 @@ def build_scenario(
     built = BuiltScenario(
         spec=spec, seed=seed, sim=sim, network=network, monitor=monitor, recorder=recorder
     )
+    if recorder is not None:
+        # Route rebuilds triggered by dynamics land on the trace.
+        network.probe = recorder
     if recorder is not None and network.links:
         QueueOccupancyProbe(
             sim, recorder, network.links, interval=spec.metrics.trace_queue_interval
@@ -269,6 +366,9 @@ def build_scenario(
             source.stop(bg.stop)
         built.background[bg.flow_id] = (source, sink)
 
+    if spec.dynamics:
+        _schedule_dynamics(built)
+
     return built
 
 
@@ -320,6 +420,12 @@ def collect_record(built: BuiltScenario) -> Dict[str, Any]:
             "queue_drops": sum(l.queue_drops for l in built.network.links),
             "random_drops": sum(l.random_drops for l in built.network.links),
         }
+        if spec.dynamics:
+            # Only dynamics scenarios can drop on downed links; keying the
+            # extra field off the spec keeps static records byte-identical.
+            record["links"]["down_drops"] = sum(
+                l.down_drops for l in built.network.links
+            )
     if spec.metrics.with_series:
         record["series"] = series
     if built.recorder is not None:

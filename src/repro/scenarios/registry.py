@@ -16,6 +16,10 @@ Registered scenarios
 ``bursty-loss``             NEW: Gilbert-Elliott bursty-loss multicast.
 ``background-traffic``      NEW: on-off CBR contention on the bottleneck.
 ``flash-crowd``             NEW: a crowd of receivers joins almost at once.
+``link_failure_reroute``    DYNAMICS: primary-link failure, reroute + re-graft.
+``bandwidth_step``          DYNAMICS: bottleneck bandwidth step (Figure 13).
+``loss_step_responsiveness`` DYNAMICS: loss step + CLR hand-off (Figure 17).
+``receiver_churn``          DYNAMICS: scripted join/leave churn schedules.
 
 Default parameter values are sized for interactive CLI use (seconds, not
 minutes, of wall clock); pass e.g. ``--set duration=200`` for paper-like
@@ -26,17 +30,19 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.scenarios.spec import (
     BackgroundFlowSpec,
     CustomSpec,
     DumbbellSpec,
     DuplexLinkSpec,
+    DynamicsSpec,
     EdgeSpec,
     GilbertElliottSpec,
     ImpairmentSpec,
     MetricsSpec,
+    NetworkEventSpec,
     ReceiverSpec,
     ScenarioSpec,
     StarSpec,
@@ -455,6 +461,241 @@ def flash_crowd_spec(
     )
 
 
+# ------------------------------------------------------- dynamics scenarios
+
+
+def link_failure_reroute_spec(
+    primary_bps: float = 4e6,
+    backup_bps: float = 0.5e6,
+    near_bps: float = 1e6,
+    fail_at: float = 26.0,
+    recover_at: Optional[float] = 36.0,
+    duration: float = 50.0,
+    warmup_fraction: float = 0.1,
+) -> ScenarioSpec:
+    """NEW: mid-session link failure with reroute and multicast re-graft.
+
+    Two receivers: ``rcv_near`` behind a ``near_bps`` tail (the initial CLR)
+    and ``rcv_far`` reached over a fast primary link with a slow, longer
+    backup path around it.  At ``fail_at`` the primary link fails: unicast
+    routes reconverge onto the backup, the distribution tree re-grafts, and
+    ``rcv_far`` — now limited to ``backup_bps`` — reports and takes over as
+    CLR within a few feedback rounds (the paper's Figures 13-19 reaction
+    pattern).  ``recover_at`` (None disables) restores the primary link.
+    """
+    if not backup_bps < near_bps < primary_bps:
+        raise ValueError("expected backup_bps < near_bps < primary_bps")
+    jitter = 1000.0 * 8.0 / backup_bps
+    imp = ImpairmentSpec(jitter=jitter)
+    fast = primary_bps * 8
+    links = (
+        DuplexLinkSpec("source", "core", fast, 0.001, impairment=imp),
+        DuplexLinkSpec("core", "r2", primary_bps, 0.01, impairment=imp),
+        DuplexLinkSpec("core", "r3", primary_bps, 0.005, impairment=imp),
+        DuplexLinkSpec("r3", "r2", backup_bps, 0.03, queue_limit=25, impairment=imp),
+        DuplexLinkSpec("r2", "rcv_far", fast, 0.001, impairment=imp),
+        DuplexLinkSpec("core", "near", near_bps, 0.01, impairment=imp),
+        DuplexLinkSpec("near", "rcv_near", fast, 0.001, impairment=imp),
+    )
+    events = [NetworkEventSpec(at=fail_at, kind="link_down", a="core", b="r2")]
+    if recover_at is not None:
+        if recover_at <= fail_at:
+            raise ValueError("recover_at must be after fail_at")
+        events.append(NetworkEventSpec(at=recover_at, kind="link_up", a="core", b="r2"))
+    return ScenarioSpec(
+        name="link_failure_reroute",
+        description="Primary-link failure: reroute, tree re-graft and CLR hand-off",
+        duration=duration,
+        topology=CustomSpec(extra_links=links),
+        tfmcc=(
+            TfmccFlowSpec(
+                sender_node="source",
+                receivers=(ReceiverSpec(node="rcv_near"), ReceiverSpec(node="rcv_far")),
+            ),
+        ),
+        dynamics=DynamicsSpec(events=tuple(events)),
+        metrics=MetricsSpec(warmup_fraction=warmup_fraction, with_trace=True),
+    )
+
+
+def bandwidth_step_spec(
+    bottleneck_bps: float = 2e6,
+    step_factor: float = 0.4,
+    step_at: float = 25.0,
+    restore_at: Optional[float] = 38.0,
+    num_receivers: int = 2,
+    duration: float = 55.0,
+    warmup_fraction: float = 0.1,
+) -> ScenarioSpec:
+    """NEW: step change of the bottleneck bandwidth (Figure 13 family).
+
+    A dumbbell whose bottleneck steps down to ``step_factor`` of its
+    capacity at ``step_at`` and back up at ``restore_at`` (None disables).
+    The interesting output is how fast the sender tracks the new capacity
+    in each direction — the paper expects a reaction within a few RTTs
+    (feedback rounds) and a slow, smooth increase afterwards.
+    """
+    if not 0.0 < step_factor < 1.0:
+        raise ValueError("step_factor must be in (0, 1)")
+    topology = DumbbellSpec(
+        num_left=1,
+        num_right=num_receivers,
+        bottleneck_bps=bottleneck_bps,
+        bottleneck_delay=0.02,
+        access_bps=bottleneck_bps * 12.5,
+        access_delay=0.001,
+    )
+    events = [
+        NetworkEventSpec(
+            at=step_at,
+            kind="link_update",
+            a="router_left",
+            b="router_right",
+            bandwidth=bottleneck_bps * step_factor,
+        )
+    ]
+    if restore_at is not None:
+        if restore_at <= step_at:
+            raise ValueError("restore_at must be after step_at")
+        events.append(
+            NetworkEventSpec(
+                at=restore_at,
+                kind="link_update",
+                a="router_left",
+                b="router_right",
+                bandwidth=bottleneck_bps,
+            )
+        )
+    return ScenarioSpec(
+        name="bandwidth_step",
+        description="Step change of the bottleneck bandwidth mid-session",
+        duration=duration,
+        topology=topology,
+        tfmcc=(
+            TfmccFlowSpec(
+                sender_node="src0",
+                receivers=tuple(ReceiverSpec(node=f"dst{i}") for i in range(num_receivers)),
+            ),
+        ),
+        dynamics=DynamicsSpec(events=tuple(events)),
+        metrics=MetricsSpec(warmup_fraction=warmup_fraction, with_trace=True),
+    )
+
+
+def loss_step_spec(
+    base_loss: float = 0.002,
+    step_loss: float = 0.08,
+    static_loss: float = 0.02,
+    step_at: float = 15.0,
+    link_bps: float = 5e6,
+    duration: float = 40.0,
+    warmup_fraction: float = 0.1,
+) -> ScenarioSpec:
+    """NEW: loss-rate step on one receiver's link (Figure 17 family).
+
+    A star with two lossy leaves: ``leaf0`` starts nearly clean
+    (``base_loss``) and steps to ``step_loss`` at ``step_at``; ``leaf1``
+    has a constant ``static_loss`` and is therefore the initial CLR.  After
+    the step the worst receiver changes, so the sender must hand the CLR
+    role to ``leaf0``'s receiver and reduce the rate within a few feedback
+    rounds.
+    """
+    if not base_loss < static_loss < step_loss:
+        raise ValueError("expected base_loss < static_loss < step_loss")
+    leaves = (
+        EdgeSpec(bandwidth=link_bps, delay=0.03, impairment=ImpairmentSpec(loss_rate=base_loss)),
+        EdgeSpec(bandwidth=link_bps, delay=0.03, impairment=ImpairmentSpec(loss_rate=static_loss)),
+    )
+    return ScenarioSpec(
+        name="loss_step_responsiveness",
+        description="Loss-rate step on one leaf: CLR hand-off when the worst receiver changes",
+        duration=duration,
+        topology=StarSpec(leaves=leaves, hub_bps=link_bps * 8),
+        tfmcc=(
+            TfmccFlowSpec(
+                sender_node="source",
+                receivers=(
+                    ReceiverSpec(node="leaf0", receiver_id="stepped"),
+                    ReceiverSpec(node="leaf1", receiver_id="static"),
+                ),
+            ),
+        ),
+        dynamics=DynamicsSpec(
+            events=(
+                NetworkEventSpec(
+                    at=step_at,
+                    kind="link_update",
+                    a="leaf0",
+                    b="hub",
+                    loss_rate=step_loss,
+                ),
+            )
+        ),
+        metrics=MetricsSpec(warmup_fraction=warmup_fraction, with_trace=True),
+    )
+
+
+def receiver_churn_spec(
+    num_churners: int = 6,
+    first_join: float = 8.0,
+    join_interval: float = 3.0,
+    stay_time: float = 10.0,
+    bottleneck_bps: float = 2e6,
+    duration: float = 45.0,
+    warmup_fraction: float = 0.1,
+) -> ScenarioSpec:
+    """NEW: scripted receiver join/leave churn through the dynamics layer.
+
+    One permanent receiver plus ``num_churners`` receivers that join at
+    ``first_join + i * join_interval`` and leave ``stay_time`` seconds
+    later (leaves are clamped below the scenario duration).  Unlike the
+    ``flash-crowd`` scenario (build-time membership schedule), the churn
+    here runs through scripted ``receiver_join`` / ``receiver_leave``
+    events, exercising CLR hand-off when the current worst receiver
+    departs.
+    """
+    if num_churners < 1:
+        raise ValueError("num_churners must be >= 1")
+    topology = DumbbellSpec(
+        num_left=1,
+        num_right=num_churners + 1,
+        bottleneck_bps=bottleneck_bps,
+        bottleneck_delay=0.02,
+        access_bps=bottleneck_bps * 12.5,
+        access_delay=0.001,
+    )
+    events = []
+    for i in range(num_churners):
+        join_at = first_join + i * join_interval
+        # Clamp the departure inside the run, but never before the join —
+        # a leave scheduled ahead of its join would silently no-op.
+        leave_at = min(join_at + stay_time, duration - 1.0)
+        if leave_at <= join_at:
+            raise ValueError(
+                f"churner {i} joins at {join_at} with no room to leave before "
+                f"the scenario ends ({duration}); extend duration or join earlier"
+            )
+        rid = f"churn{i}"
+        events.append(
+            NetworkEventSpec(at=join_at, kind="receiver_join", node=f"dst{i + 1}", receiver_id=rid)
+        )
+        events.append(NetworkEventSpec(at=leave_at, kind="receiver_leave", receiver_id=rid))
+    # Chronological order keeps the schedule readable in JSON; ties keep
+    # spec order, so join-before-leave of distinct receivers is preserved.
+    events.sort(key=lambda e: e.at)
+    return ScenarioSpec(
+        name="receiver_churn",
+        description="Scripted receiver join/leave churn with CLR hand-off",
+        duration=duration,
+        topology=topology,
+        tfmcc=(
+            TfmccFlowSpec(sender_node="src0", receivers=(ReceiverSpec(node="dst0"),)),
+        ),
+        dynamics=DynamicsSpec(events=tuple(events)),
+        metrics=MetricsSpec(warmup_fraction=warmup_fraction, with_trace=True),
+    )
+
+
 # ------------------------------------------------------------- registration
 
 register(
@@ -511,5 +752,33 @@ register(
         name="flash-crowd",
         description="A crowd of receivers joins within a short window (new)",
         build=flash_crowd_spec,
+    )
+)
+register(
+    ScenarioFactory(
+        name="link_failure_reroute",
+        description="Primary-link failure with reroute, tree re-graft and CLR hand-off (dynamics)",
+        build=link_failure_reroute_spec,
+    )
+)
+register(
+    ScenarioFactory(
+        name="bandwidth_step",
+        description="Step change of the bottleneck bandwidth mid-session (dynamics)",
+        build=bandwidth_step_spec,
+    )
+)
+register(
+    ScenarioFactory(
+        name="loss_step_responsiveness",
+        description="Loss-rate step on one leaf with CLR hand-off (dynamics)",
+        build=loss_step_spec,
+    )
+)
+register(
+    ScenarioFactory(
+        name="receiver_churn",
+        description="Scripted receiver join/leave churn schedules (dynamics)",
+        build=receiver_churn_spec,
     )
 )

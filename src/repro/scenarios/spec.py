@@ -16,8 +16,8 @@ simulation-core split: everything in this module is inert data; the
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field, fields, replace
-from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar
+from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Type, TypeVar
 
 T = TypeVar("T")
 
@@ -29,6 +29,43 @@ def _from_mapping(cls: Type[T], data: Mapping[str, Any]) -> T:
     if unknown:
         raise ValueError(f"unknown {cls.__name__} fields: {sorted(unknown)}")
     return cls(**data)
+
+
+def _replace_nested(obj: Any, full_key: str, parts: Sequence[str], value: Any) -> Any:
+    """Immutably set a dotted path inside nested spec dataclasses/tuples.
+
+    Each level is rebuilt with ``dataclasses.replace`` (re-running its
+    validation); integer path segments index into tuples.  Raises a clear
+    ``ValueError`` naming the full dotted key on any bad segment.
+    """
+    head, rest = parts[0], parts[1:]
+    if isinstance(obj, tuple):
+        try:
+            index = int(head)
+        except ValueError:
+            raise ValueError(
+                f"override {full_key!r}: segment {head!r} must be an integer "
+                f"index into a {len(obj)}-element tuple"
+            ) from None
+        if not 0 <= index < len(obj):
+            raise ValueError(
+                f"override {full_key!r}: index {index} out of range "
+                f"(tuple has {len(obj)} elements)"
+            )
+        new_item = value if not rest else _replace_nested(obj[index], full_key, rest, value)
+        return obj[:index] + (new_item,) + obj[index + 1 :]
+    if not is_dataclass(obj):
+        raise ValueError(
+            f"override {full_key!r}: cannot descend into {type(obj).__name__} "
+            f"at segment {head!r}"
+        )
+    if head not in {f.name for f in fields(obj)}:
+        raise ValueError(
+            f"override {full_key!r}: {type(obj).__name__} has no field {head!r} "
+            f"(fields: {', '.join(sorted(f.name for f in fields(obj)))})"
+        )
+    new_value = value if not rest else _replace_nested(getattr(obj, head), full_key, rest, value)
+    return replace(obj, **{head: new_value})
 
 
 # --------------------------------------------------------------- impairments
@@ -274,6 +311,145 @@ class BackgroundFlowSpec:
             raise ValueError(f"unknown background flow kind {self.kind!r}")
 
 
+# ------------------------------------------------------------------ dynamics
+
+
+#: Event kinds understood by the scenario builder's dynamics scheduler.
+EVENT_KINDS = ("link_down", "link_up", "link_update", "receiver_join", "receiver_leave")
+
+#: Link-update directions: ``a->b``, ``b->a`` or both.
+EVENT_DIRECTIONS = ("both", "forward", "reverse")
+
+
+@dataclass(frozen=True)
+class NetworkEventSpec:
+    """One scheduled network or membership event.
+
+    ``kind`` selects the event family; the remaining fields are
+    kind-specific (unused ones stay ``None``):
+
+    ``link_down`` / ``link_up``
+        Fail / restore the duplex link ``a <-> b``: queues flush, unicast
+        routes rebuild and multicast trees re-graft.
+    ``link_update``
+        Step link parameters at ``at``: any of ``bandwidth`` (bits/s),
+        ``delay`` (seconds; triggers a route rebuild, delay is the routing
+        weight), ``loss_rate`` (Bernoulli) or ``gilbert_elliott`` (bursty
+        loss process, freshly seeded per direction).  ``direction`` limits
+        the change to one direction of the duplex link.
+    ``receiver_join`` / ``receiver_leave``
+        Membership churn: join a new receiver at ``node`` (with optional
+        explicit ``receiver_id``) or remove the receiver ``receiver_id``.
+        ``flow`` names the TFMCC flow (default: the scenario's first).
+    """
+
+    at: float
+    kind: str
+    # Link events.
+    a: Optional[str] = None
+    b: Optional[str] = None
+    bandwidth: Optional[float] = None
+    delay: Optional[float] = None
+    loss_rate: Optional[float] = None
+    gilbert_elliott: Optional[GilbertElliottSpec] = None
+    direction: str = "both"
+    # Membership events.
+    flow: Optional[str] = None
+    node: Optional[str] = None
+    receiver_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"event time must be >= 0, got {self.at}")
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {self.kind!r} (known: {', '.join(EVENT_KINDS)})"
+            )
+        if self.direction not in EVENT_DIRECTIONS:
+            raise ValueError(
+                f"unknown direction {self.direction!r} (known: {', '.join(EVENT_DIRECTIONS)})"
+            )
+        if self.kind in ("link_down", "link_up", "link_update"):
+            if self.a is None or self.b is None:
+                raise ValueError(f"{self.kind} event requires link endpoints a and b")
+            if self.kind == "link_update" and not self.has_link_changes:
+                raise ValueError(
+                    "link_update event changes nothing: set bandwidth, delay, "
+                    "loss_rate or gilbert_elliott"
+                )
+            if self.kind != "link_update" and self.direction != "both":
+                raise ValueError(
+                    f"{self.kind} takes the whole duplex link down/up (routing "
+                    "is undirected); drop the direction override"
+                )
+        elif self.kind == "receiver_join":
+            if self.node is None:
+                raise ValueError("receiver_join event requires a node")
+        elif self.kind == "receiver_leave":
+            if self.receiver_id is None:
+                raise ValueError("receiver_leave event requires a receiver_id")
+        if self.loss_rate is not None and not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if self.bandwidth is not None and self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.delay is not None:
+            if self.delay < 0:
+                raise ValueError("delay cannot be negative")
+            if self.direction != "both":
+                raise ValueError(
+                    "delay changes apply to both directions (delay is the "
+                    "undirected routing weight); drop the direction override"
+                )
+
+    @property
+    def has_link_changes(self) -> bool:
+        return any(
+            v is not None
+            for v in (self.bandwidth, self.delay, self.loss_rate, self.gilbert_elliott)
+        )
+
+    @property
+    def target(self) -> str:
+        """Human-readable event target (for traces and summaries)."""
+        if self.kind in ("link_down", "link_up", "link_update"):
+            return f"{self.a}<->{self.b}"
+        if self.kind == "receiver_join":
+            return f"{self.node}"
+        return f"{self.receiver_id}"
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "NetworkEventSpec":
+        data = dict(data)
+        ge = data.pop("gilbert_elliott", None)
+        if ge is not None:
+            ge = _from_mapping(GilbertElliottSpec, ge)
+        return _from_mapping(NetworkEventSpec, {**data, "gilbert_elliott": ge})
+
+
+@dataclass(frozen=True)
+class DynamicsSpec:
+    """Time-scripted network dynamics: an ordered schedule of events.
+
+    Events fire at their absolute simulation time ``at``; events with equal
+    times fire in schedule order.  The empty schedule (the default on every
+    :class:`ScenarioSpec`) is inert — static scenarios are unaffected.
+    """
+
+    events: Tuple[NetworkEventSpec, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "DynamicsSpec":
+        data = dict(data)
+        events = tuple(NetworkEventSpec.from_dict(e) for e in data.pop("events", ()))
+        return _from_mapping(DynamicsSpec, {**data, "events": events})
+
+
+NO_DYNAMICS = DynamicsSpec()
+
+
 # ------------------------------------------------------------------- metrics
 
 
@@ -310,6 +486,7 @@ class ScenarioSpec:
     tcp: Tuple[TcpFlowSpec, ...] = ()
     background: Tuple[BackgroundFlowSpec, ...] = ()
     metrics: MetricsSpec = field(default_factory=MetricsSpec)
+    dynamics: DynamicsSpec = NO_DYNAMICS
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -317,6 +494,16 @@ class ScenarioSpec:
             raise ValueError("duration must be positive")
         if not self.tfmcc and not self.tcp and not self.background:
             raise ValueError(f"scenario {self.name!r} defines no traffic")
+        for event in self.dynamics.events:
+            if event.at >= self.duration:
+                raise ValueError(
+                    f"scenario {self.name!r}: dynamics event at t={event.at} "
+                    f"never fires (duration is {self.duration})"
+                )
+            if event.kind in ("receiver_join", "receiver_leave") and not self.tfmcc:
+                raise ValueError(
+                    f"scenario {self.name!r}: {event.kind} event but no TFMCC flow"
+                )
 
     # ------------------------------------------------------------ serialisation
 
@@ -339,6 +526,8 @@ class ScenarioSpec:
         )
         metrics = data.pop("metrics", None)
         metrics = _from_mapping(MetricsSpec, metrics) if metrics is not None else MetricsSpec()
+        dynamics = data.pop("dynamics", None)
+        dynamics = DynamicsSpec.from_dict(dynamics) if dynamics is not None else NO_DYNAMICS
         return _from_mapping(
             ScenarioSpec,
             {
@@ -348,6 +537,7 @@ class ScenarioSpec:
                 "tcp": tcp,
                 "background": background,
                 "metrics": metrics,
+                "dynamics": dynamics,
             },
         )
 
@@ -356,5 +546,22 @@ class ScenarioSpec:
         return ScenarioSpec.from_dict(json.loads(text))
 
     def with_overrides(self, **changes: Any) -> "ScenarioSpec":
-        """Return a copy with top-level fields replaced."""
-        return replace(self, **changes)
+        """Return a copy with fields replaced; dotted keys reach nested specs.
+
+        Plain keys replace top-level fields as before.  A dotted key
+        traverses nested spec dataclasses — and tuples, via integer
+        segments — rebuilding every level immutably, so sweeps can vary
+        nested parameters without hand-rebuilding specs::
+
+            spec.with_overrides(**{"topology.bottleneck_bps": 2e6})
+            spec.with_overrides(**{"topology.leaves.0.bandwidth": 1e6})
+            spec.with_overrides(**{"metrics.with_trace": True})
+        """
+        spec = self
+        flat = {k: v for k, v in changes.items() if "." not in k}
+        if flat:
+            spec = replace(spec, **flat)
+        for key, value in changes.items():
+            if "." in key:
+                spec = _replace_nested(spec, key, key.split("."), value)
+        return spec

@@ -157,6 +157,9 @@ class Link:
         self._queue_tracks_idle = isinstance(self.queue, REDQueue)
         self.name = name or f"{src.node_id}->{dst.node_id}"
         self._busy = False
+        #: True while the link is administratively/physically down
+        #: (see :meth:`set_down`); every offered packet is dropped.
+        self.down = False
         # Reusable drain-event handle: one recurring event walks the queue
         # (dequeue + transmit), rather than allocating a fresh event per
         # queued packet (see Simulator.reschedule).
@@ -165,6 +168,7 @@ class Link:
         self.packets_sent = 0
         self.bytes_sent = 0
         self.random_drops = 0
+        self.down_drops = 0
         self.bytes_per_flow: Dict[str, int] = {}
 
     # ------------------------------------------------------------------ API
@@ -179,6 +183,9 @@ class Link:
 
     def enqueue(self, packet: Packet) -> bool:
         """Offer a packet to the link.  Returns False if dropped."""
+        if self.down:
+            self.down_drops += 1
+            return False
         if self.loss_model is not None:
             if self.loss_model.should_drop(self.sim.rng):
                 self.random_drops += 1
@@ -198,8 +205,8 @@ class Link:
 
     @property
     def total_drops(self) -> int:
-        """All packets dropped on this link (queue + random loss)."""
-        return self.queue.drops + self.random_drops
+        """All packets dropped on this link (queue + random loss + down)."""
+        return self.queue.drops + self.random_drops + self.down_drops
 
     @property
     def queue_length(self) -> int:
@@ -214,6 +221,68 @@ class Link:
         if duration <= 0:
             return 0.0
         return (self.bytes_sent * 8.0) / (self.bandwidth * duration)
+
+    # ------------------------------------------------------------ live mutation
+    #
+    # The time-scripted dynamics layer (repro.scenarios.spec.DynamicsSpec)
+    # changes link parameters mid-run.  All mutators keep the reusable drain
+    # event and the queue consistent: a packet already being serialised
+    # finishes with the parameters it started with, subsequent packets use
+    # the new ones.
+
+    def set_bandwidth(self, bandwidth: float) -> None:
+        """Change the link capacity (bits/s) for subsequent transmissions."""
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth = bandwidth
+
+    def set_delay(self, delay: float) -> None:
+        """Change the propagation delay for subsequent transmissions.
+
+        Packets already propagating arrive at their originally scheduled
+        time.  Callers that route by delay must rebuild routes themselves
+        (``Network.set_link_delay`` does both).
+        """
+        if delay < 0:
+            raise ValueError("delay cannot be negative")
+        self.delay = delay
+
+    def set_loss_rate(self, loss_rate: float) -> None:
+        """Change the Bernoulli loss probability; clears any stateful model."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.loss_rate = loss_rate
+        self.loss_model = None
+
+    def set_loss_model(self, loss_model: Optional[GilbertElliottLoss]) -> None:
+        """Install (or clear) a stateful loss process for subsequent packets."""
+        self.loss_model = loss_model
+
+    def set_down(self) -> None:
+        """Take the link down: flush the queue, stop the drain, drop all input.
+
+        Queued packets and the packet currently being serialised (its frame
+        is cut) are counted in :attr:`down_drops`.  Packets already
+        propagating are on the wire and still arrive.  Idempotent.
+        """
+        if self.down:
+            return
+        self.down = True
+        while self.queue.dequeue() is not None:
+            self.down_drops += 1
+        # Cancelling the pending drain event kills the in-flight
+        # serialisation; reschedule() copes with a cancelled handle when the
+        # link later comes back up.
+        if self._drain is not None and self._drain.pending:
+            self._drain.cancel()
+            self.down_drops += 1
+        self._busy = False
+        if self._queue_tracks_idle:
+            self.queue.mark_idle(self.sim.now)
+
+    def set_up(self) -> None:
+        """Bring the link back up; it starts idle with an empty queue."""
+        self.down = False
 
     # ------------------------------------------------------------ internals
 

@@ -8,12 +8,15 @@ member node.  Each on-tree node gets a multicast forwarding entry
 
 Receivers can join and leave at any time (the responsiveness and late-join
 experiments rely on this); the tree is recomputed on membership change, which
-corresponds to an idealised instantaneous graft/prune.
+corresponds to an idealised instantaneous graft/prune.  Groups register with
+their :class:`~repro.simulator.topology.Network`, which calls
+:meth:`MulticastGroup.regraft` whenever the live topology changes (link
+failure/recovery, delay change), so the distribution tree follows reroutes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.simulator.node import Agent
 from repro.simulator.topology import Network
@@ -42,6 +45,7 @@ class MulticastGroup:
         # membership churn (the common case) reuses one SSSP computation.
         self._spt_version: Optional[int] = None
         self._spt_parents: Optional[Dict[str, Optional[str]]] = None
+        network.register_group(self)
         self._rebuild_tree()
 
     # ------------------------------------------------------------ membership
@@ -70,6 +74,15 @@ class MulticastGroup:
         self._rebuild_tree()
 
     # ------------------------------------------------------------ tree
+
+    def regraft(self) -> None:
+        """Recompute the distribution tree after a topology change.
+
+        Called by :class:`Network` when a link fails, recovers or changes
+        its delay; corresponds to the underlying multicast routing protocol
+        converging on the new topology.
+        """
+        self._rebuild_tree()
 
     def _rebuild_tree(self) -> None:
         """Recompute the source-rooted distribution tree from shortest paths.

@@ -1,13 +1,20 @@
-"""Network topology construction and unicast routing.
+"""Network topology construction, unicast routing and live dynamics.
 
 :class:`Network` wraps a set of :class:`~repro.simulator.node.Node` objects
-and their links, keeps an undirected ``networkx`` view of the topology and
-computes shortest-path (by propagation delay) unicast routes.  It also offers
-the topology builders used throughout the paper's evaluation:
+and their links, keeps an undirected adjacency view of the topology and
+computes shortest-path (by propagation delay) unicast routes with a cached
+internal Dijkstra — the same computation that builds the forwarding tables,
+so :meth:`Network.path` always reports the route packets actually take.  It
+also offers the topology builders used throughout the paper's evaluation:
 
 * :meth:`Network.dumbbell` -- the single-bottleneck topology of Figure 8,
 * :meth:`Network.star` -- the star topology used for the responsiveness
-  experiments (Figures 11, 13 and 20).
+  experiments (Figures 11, 13 and 20),
+
+and the live-dynamics entry points used by the time-scripted scenario layer
+(:mod:`repro.scenarios.spec`): :meth:`fail_link` / :meth:`restore_link` /
+:meth:`set_link_delay` mutate the running topology, rebuild the unicast
+routes and re-graft every registered multicast group.
 """
 
 from __future__ import annotations
@@ -16,11 +23,9 @@ from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Callable, Dict, List, Optional, Tuple
 
-import networkx as nx
-
 from repro.simulator.engine import Simulator
 from repro.simulator.link import GilbertElliottLoss, Link
-from repro.simulator.node import Agent, Node
+from repro.simulator.node import Agent, Node, RoutingError
 from repro.simulator.queues import DropTailQueue, PacketQueue
 
 
@@ -41,10 +46,27 @@ class Network:
         self.sim = sim
         self.nodes: Dict[str, Node] = {}
         self.links: List[Link] = []
-        self.graph = nx.Graph()
-        #: Bumped whenever a node or link is added; lets shortest-path
-        #: consumers (multicast trees, route caches) reuse results safely.
+        # Undirected adjacency: node -> neighbour -> edge-attribute dict.
+        # Both directions of an edge share ONE attribute dict (like
+        # networkx.Graph, which this replaces), and insertion order follows
+        # edge creation order so Dijkstra tie-breaking is deterministic.
+        self.adj: Dict[str, Dict[str, Dict[str, object]]] = {}
+        #: Bumped whenever the topology changes (node/link added, link
+        #: failed/restored, delay changed); lets shortest-path consumers
+        #: (multicast trees, route caches) reuse results safely.
         self.topology_version = 0
+        #: Multicast groups re-grafted on topology changes (see
+        #: :meth:`register_group`).
+        self.groups: List[object] = []
+        #: Optional trace sink (``repro.metrics.trace.TraceRecorder``);
+        #: route rebuilds triggered by live dynamics emit on the
+        #: ``route_rebuild`` channel.
+        self.probe = None
+        # Single-source shortest-path cache: source -> (version, parents,
+        # first_hops).  Shared by build_routes/path/path_delay so queries
+        # and forwarding can never disagree on tie-breaking.
+        self._sssp_cache: Dict[str, Tuple[int, Dict, Dict]] = {}
+        self._routes_built = False
 
     # ------------------------------------------------------------ topology
 
@@ -54,7 +76,7 @@ class Network:
             return self.nodes[node_id]
         node = Node(self.sim, node_id)
         self.nodes[node_id] = node
-        self.graph.add_node(node_id)
+        self.adj[node_id] = {}
         self.topology_version += 1
         return node
 
@@ -91,7 +113,13 @@ class Network:
         )
         src_node.add_link(link)
         self.links.append(link)
-        self.graph.add_edge(src, dst, delay=delay)
+        attrs = self.adj[src].get(dst)
+        if attrs is None:
+            attrs = {"delay": delay}
+            self.adj[src][dst] = attrs
+            self.adj[dst][src] = attrs
+        else:
+            attrs["delay"] = delay
         self.topology_version += 1
         return link
 
@@ -155,9 +183,10 @@ class Network:
         node and the first hop from ``source`` towards it.  Ties are broken
         by discovery order (which follows edge insertion order), so the
         result is deterministic across processes — unlike iterating sets of
-        node-id strings, it does not depend on ``PYTHONHASHSEED``.
+        node-id strings, it does not depend on ``PYTHONHASHSEED``.  Edges
+        marked down (failed links) are skipped.
         """
-        adj = self.graph.adj
+        adj = self.adj
         dist = {source: 0.0}
         parents: Dict[str, Optional[str]] = {source: None}
         first_hops: Dict[str, Optional[str]] = {source: None}
@@ -171,7 +200,7 @@ class Network:
             done.add(u)
             u_first = first_hops[u]
             for v, edge in adj[u].items():
-                if v in done:
+                if v in done or edge.get("down"):
                     continue
                 nd = d + edge[weight]
                 if v not in dist or nd < dist[v]:
@@ -182,37 +211,148 @@ class Network:
                     heappush(heap, (nd, counter, v))
         return parents, first_hops
 
+    def _sssp(self, source: str, weight: str = "delay"):
+        """Cached single-source shortest paths (invalidated by version bumps)."""
+        if source not in self.nodes:
+            raise RoutingError(f"unknown node {source!r}")
+        if weight != "delay":
+            return self._dijkstra(source, weight)
+        entry = self._sssp_cache.get(source)
+        if entry is not None and entry[0] == self.topology_version:
+            return entry[1], entry[2]
+        parents, first_hops = self._dijkstra(source, weight)
+        self._sssp_cache[source] = (self.topology_version, parents, first_hops)
+        return parents, first_hops
+
     def shortest_path_tree(self, source: str, weight: str = "delay") -> Dict[str, Optional[str]]:
         """Predecessor map of the shortest-path tree rooted at ``source``."""
-        parents, _first_hops = self._dijkstra(source, weight)
+        parents, _first_hops = self._sssp(source, weight)
         return parents
 
     def build_routes(self, weight: str = "delay") -> None:
         """Compute shortest-path unicast routes for all node pairs.
 
-        Must be called after the topology is complete (and again if it
-        changes).  Routes are stored in each node's routing table.
+        Must be called after the topology is complete; live-dynamics
+        mutators (:meth:`fail_link` etc.) call it again automatically.
+        Routes are stored in each node's routing table.
         """
         for src_id, node in self.nodes.items():
-            _parents, first_hops = self._dijkstra(src_id, weight)
+            _parents, first_hops = self._sssp(src_id, weight)
             node.routes.clear()
             for dst_id, hop in first_hops.items():
                 if hop is not None:
                     node.routes[dst_id] = hop
+        self._routes_built = True
+
+    def set_routes(self, tables: Dict[str, Dict[str, str]]) -> None:
+        """Install precomputed next-hop tables (the builder's route cache)."""
+        for nid, node in self.nodes.items():
+            node.routes.clear()
+            node.routes.update(tables[nid])
+        self._routes_built = True
 
     def path(self, src: str, dst: str, weight: str = "delay") -> List[str]:
-        """Shortest path between two nodes as a list of node ids."""
-        return nx.shortest_path(self.graph, src, dst, weight=weight)
+        """Shortest path between two nodes as a list of node ids.
+
+        Computed from the same cached Dijkstra that builds the forwarding
+        tables, so the reported path (including tie-breaking) is exactly the
+        route packets take.  Raises :class:`RoutingError` when ``dst`` is
+        unreachable.
+        """
+        if dst not in self.nodes:
+            raise RoutingError(f"unknown node {dst!r}")
+        parents, _first_hops = self._sssp(src, weight)
+        if dst not in parents:
+            raise RoutingError(f"no path from {src!r} to {dst!r}")
+        nodes = [dst]
+        hop = parents[dst]
+        while hop is not None:
+            nodes.append(hop)
+            hop = parents[hop]
+        nodes.reverse()
+        return nodes
 
     def path_delay(self, src: str, dst: str) -> float:
-        """Sum of link propagation delays along the shortest path."""
+        """Sum of link propagation delays along the shortest path.
+
+        Raises :class:`RoutingError` when a hop of the computed path has no
+        corresponding link — an inconsistent topology that would otherwise
+        silently under-report the delay.
+        """
         nodes = self.path(src, dst)
         total = 0.0
         for a, b in zip(nodes, nodes[1:]):
             link = self.link_between(a, b)
-            if link is not None:
-                total += link.delay
+            if link is None:
+                raise RoutingError(
+                    f"inconsistent topology: path {src!r}->{dst!r} uses hop "
+                    f"{a!r}->{b!r} but no such link exists"
+                )
+            total += link.delay
         return total
+
+    # ------------------------------------------------------------ live dynamics
+
+    def register_group(self, group) -> None:
+        """Register a multicast group for re-grafting on topology changes."""
+        if group not in self.groups:
+            self.groups.append(group)
+
+    def _topology_changed(self, reason: str) -> None:
+        """Propagate a live topology change: routes, multicast trees, probe."""
+        self.topology_version += 1
+        self._sssp_cache.clear()
+        if self._routes_built:
+            self.build_routes()
+        for group in self.groups:
+            group.regraft()
+        if self.probe is not None:
+            self.probe.emit("route_rebuild", self.sim.now, reason, self.topology_version)
+
+    def _duplex_links(self, a: str, b: str) -> List[Link]:
+        links = [self.link_between(a, b), self.link_between(b, a)]
+        present = [l for l in links if l is not None]
+        if not present:
+            raise RoutingError(f"no link between {a!r} and {b!r}")
+        return present
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Take the duplex link ``a <-> b`` down and reroute around it.
+
+        Both directions drop their queues and refuse new packets; the
+        routing edge is marked down (rather than removed, so a later
+        :meth:`restore_link` keeps the original deterministic tie-breaking
+        order), unicast routes are rebuilt and every registered multicast
+        group re-grafts its distribution tree.
+        """
+        for link in self._duplex_links(a, b):
+            link.set_down()
+        edge = self.adj.get(a, {}).get(b)
+        if edge is not None:
+            edge["down"] = True
+        self._topology_changed(f"link_down:{a}<->{b}")
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Bring a previously failed duplex link back up and reroute."""
+        for link in self._duplex_links(a, b):
+            link.set_up()
+        edge = self.adj.get(a, {}).get(b)
+        if edge is not None and edge.get("down"):
+            del edge["down"]
+        self._topology_changed(f"link_up:{a}<->{b}")
+
+    def set_link_delay(self, a: str, b: str, delay: float) -> None:
+        """Change the propagation delay of the duplex link and reroute.
+
+        Delay is the routing weight, so shortest paths may change; routes
+        and multicast trees are rebuilt.
+        """
+        for link in self._duplex_links(a, b):
+            link.set_delay(delay)
+        edge = self.adj.get(a, {}).get(b)
+        if edge is not None:
+            edge["delay"] = delay
+        self._topology_changed(f"delay_change:{a}<->{b}")
 
     # ------------------------------------------------------------ attachment
 

@@ -121,6 +121,30 @@ def test_bursty_loss_sweep_is_bit_identical_serial_vs_parallel(tmp_path):
     assert any(r["links"]["random_drops"] > 0 for r in records)
 
 
+def test_dynamics_sweep_is_bit_identical_serial_vs_parallel(tmp_path):
+    """Time-scripted dynamics (link failure, reroute, re-graft and the trace
+    summary) must survive the multiprocessing sweep path unchanged: events
+    are scheduled from the spec inside each worker, never shared."""
+    serial = tmp_path / "serial.jsonl"
+    parallel = tmp_path / "parallel.jsonl"
+    kwargs = dict(
+        params={"fail_at": 8.0, "recover_at": 14.0, "duration": 20.0},
+        replications=3,
+        base_seed=5,
+    )
+    SweepRunner("link_failure_reroute", jobs=1, **kwargs).execute(
+        store=ResultStore(str(serial))
+    )
+    SweepRunner("link_failure_reroute", jobs=2, **kwargs).execute(
+        store=ResultStore(str(parallel))
+    )
+    assert serial.read_bytes() == parallel.read_bytes()
+    records = [json.loads(line) for line in serial.read_text().splitlines()]
+    assert len(records) == 3
+    # The failure/recovery pair must have been applied in every run.
+    assert all(r["trace"]["dynamics"]["route_rebuilds"] == 2 for r in records)
+
+
 # ---------------------------------------------------------------------- CLI
 
 

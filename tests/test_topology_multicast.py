@@ -185,9 +185,29 @@ class TestDeterministicForwardingOrder:
     def test_unicast_routes_match_networkx_shortest_paths(self):
         sim = Simulator(seed=1)
         net = Network.dumbbell(sim, 3, 3, 1e6, 0.02, 10e6, 0.001)
-        import networkx as nx
+        nx = pytest.importorskip("networkx")
 
-        expected = dict(nx.all_pairs_dijkstra_path(net.graph, weight="delay"))
+        graph = nx.Graph()
+        for link in net.links:
+            graph.add_edge(link.src.node_id, link.dst.node_id, delay=link.delay)
+        expected = dict(nx.all_pairs_dijkstra_path(graph, weight="delay"))
         for src, node in net.nodes.items():
             for dst, hop in node.routes.items():
                 assert expected[src][dst][1] == hop
+
+    def test_path_matches_installed_forwarding_route(self):
+        # path() must walk the same next-hop tables packets use, including
+        # tie-breaking: the dumbbell has many equal-delay candidate routes.
+        sim = Simulator(seed=1)
+        net = Network.dumbbell(sim, 3, 3, 1e6, 0.02, 10e6, 0.001)
+        for src in net.nodes:
+            for dst in net.nodes:
+                if src == dst:
+                    continue
+                path = net.path(src, dst)
+                assert path[0] == src and path[-1] == dst
+                # Follow the forwarding tables hop by hop.
+                walked = [src]
+                while walked[-1] != dst:
+                    walked.append(net.node(walked[-1]).routes[dst])
+                assert walked == path
