@@ -13,7 +13,8 @@ The package bundles:
   (:mod:`repro.experiments`),
 * a declarative scenario subsystem with a named-scenario registry and a
   parallel sweep runner (:mod:`repro.scenarios`), exposed on the command
-  line as ``python -m repro``,
+  line as ``python -m repro``; its traffic model is a unified, pluggable
+  flow API backed by the protocol registry (:mod:`repro.protocols`),
 * a metrics subsystem — trace probes, paper metrics, sweep aggregation —
   (:mod:`repro.metrics`) and the paper-figure reporting layer on top of it
   (:mod:`repro.report`, ``python -m repro report``).
@@ -24,9 +25,10 @@ from repro.core.feedback import BiasMethod
 from repro.core.receiver import TFMCCReceiver
 from repro.core.sender import TFMCCSender
 from repro.metrics import TraceRecorder, jain_fairness
+from repro.protocols import ProtocolFactory, get_protocol, protocol_kinds, register_protocol
 from repro.scenarios.build import build_scenario, run_scenario
 from repro.scenarios.registry import get_scenario, scenario_names
-from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.spec import FlowSpec, ScenarioSpec
 from repro.scenarios.sweep import SweepRunner
 from repro.session import TFMCCSession
 from repro.simulator.engine import Simulator
@@ -43,11 +45,13 @@ __version__ = "1.2.0"
 __all__ = [
     "BiasMethod",
     "CBRSource",
+    "FlowSpec",
     "GilbertElliottLoss",
     "LinkSpec",
     "MulticastGroup",
     "Network",
     "OnOffSource",
+    "ProtocolFactory",
     "ScenarioSpec",
     "Simulator",
     "SweepRunner",
@@ -62,8 +66,11 @@ __all__ = [
     "TrafficSink",
     "build_scenario",
     "fairness_index",
+    "get_protocol",
     "get_scenario",
     "jain_fairness",
+    "protocol_kinds",
+    "register_protocol",
     "run_scenario",
     "scenario_names",
     "__version__",

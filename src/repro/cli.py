@@ -14,9 +14,16 @@ Run one scenario and append its record to a JSONL file::
 
     python -m repro run fairness --seed 3 --out results/fairness.jsonl
 
-Run a seeded sweep over a parameter grid on 4 worker processes::
+Override any spec field by dotted path — including per-flow protocol
+parameters (``FlowSpec.params``), which makes protocol ablations one flag::
+
+    python -m repro run tfmcc_vs_tfrc --override flows.0.params.max_rtt=0.3
+
+Run a seeded sweep over a parameter grid on 4 worker processes; dotted grid
+keys sweep override paths (protocol parameters, topology fields)::
 
     python -m repro sweep fairness --jobs 4 --grid num_tcp=2,4,8 --reps 4
+    python -m repro sweep scaling --grid flows.0.params.max_rtt=0.25,0.5,1.0
 
 Build the paper-figure datasets/plots and verify them against the models::
 
@@ -90,6 +97,10 @@ def _summarise(record: Dict[str, Any], out=None) -> None:
     print(f"tfmcc    : {record['tfmcc_mean_bps'] / 1e3:10.1f} kbit/s (mean over receivers)", file=out)
     if record.get("tcp_mean_bps"):
         print(f"tcp      : {record['tcp_mean_bps'] / 1e3:10.1f} kbit/s (mean over flows)", file=out)
+    if record.get("tfrc_mean_bps"):
+        tfrc_ratio = record.get("tfmcc_tfrc_ratio")
+        suffix = f"  (TFMCC / TFRC = {tfrc_ratio:.2f})" if tfrc_ratio is not None else ""
+        print(f"tfrc     : {record['tfrc_mean_bps'] / 1e3:10.1f} kbit/s{suffix}", file=out)
     if ratio is not None:
         print(f"ratio    : {ratio:10.2f}  (TFMCC / TCP)", file=out)
     print(f"fairness : {record['fairness_index']:10.3f}  (Jain index)", file=out)
@@ -128,21 +139,52 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _flow_table(spec, out) -> None:
+    """Print the unified flow table of a spec (one line per FlowSpec)."""
+    print(f"flows ({len(spec.flows)}):", file=out)
+    for index, flow in enumerate(spec.flows):
+        if flow.receivers:
+            endpoint = f"{flow.src} -> {len(flow.receivers)} receiver(s)"
+        else:
+            endpoint = f"{flow.src} -> {flow.dst}"
+        stop = f"{flow.stop:g}" if flow.stop is not None else "end"
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(flow.params.items()))
+        print(
+            f"  [{index}] {flow.name:<14} {flow.kind:<9} {endpoint:<28} "
+            f"t={flow.start:g}..{stop}"
+            + (f"  params: {params}" if params else ""),
+            file=out,
+        )
+
+
 def cmd_show(args: argparse.Namespace) -> int:
     factory = get_scenario(args.scenario)
     spec = factory.spec(**_parse_set(args.set))
+    overrides = _parse_set(args.override)
+    if overrides:
+        spec = spec.with_overrides(**overrides)
     print(spec.to_json(indent=2))
+    # The table goes to stderr so stdout stays machine-parseable JSON.
+    _flow_table(spec, sys.stderr)
     return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     factory = get_scenario(args.scenario)
     params = _parse_set(args.set)
+    overrides = _parse_set(args.override)
     spec = factory.spec(**params)
+    if overrides:
+        spec = spec.with_overrides(**overrides)
     started = time.perf_counter()
     record = run_scenario(spec, seed=args.seed)
     elapsed = time.perf_counter() - started
-    record["run"] = {"index": 0, "seed": args.seed, "params": params, "scenario": args.scenario}
+    record["run"] = {
+        "index": 0,
+        "seed": args.seed,
+        "params": {**params, **overrides},
+        "scenario": args.scenario,
+    }
     if args.out:
         ResultStore(args.out).append(record)
         print(f"appended 1 record to {args.out}", file=sys.stderr)
@@ -156,7 +198,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     grid = _parse_grid(args.grid)
-    params = _parse_set(args.set)
+    # Fixed dotted overrides ride in params; SweepRun.resolve_spec applies
+    # them (and dotted grid axes) via ScenarioSpec.with_overrides.
+    params = {**_parse_set(args.set), **_parse_set(args.override)}
     runner = SweepRunner(
         args.scenario,
         grid=grid,
@@ -274,15 +318,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_list = sub.add_parser("list", help="list registered scenarios")
     p_list.set_defaults(func=cmd_list)
 
+    override_help = (
+        "override a spec field by dotted path, e.g. flows.0.params.max_rtt=0.3 "
+        "or topology.bottleneck_bps=2e6; repeatable"
+    )
+
     p_show = sub.add_parser("show", help="print the JSON spec of a scenario")
     p_show.add_argument("scenario")
     p_show.add_argument("--set", action="append", default=[], metavar="KEY=VALUE")
+    p_show.add_argument(
+        "--override", action="append", default=[], metavar="PATH=VALUE", help=override_help
+    )
     p_show.set_defaults(func=cmd_show)
 
     p_run = sub.add_parser("run", help="run one scenario and print a summary")
     p_run.add_argument("scenario")
     p_run.add_argument("--seed", type=int, default=1)
     p_run.add_argument("--set", action="append", default=[], metavar="KEY=VALUE")
+    p_run.add_argument(
+        "--override", action="append", default=[], metavar="PATH=VALUE", help=override_help
+    )
     p_run.add_argument("--out", help="append the result record to this JSONL file")
     p_run.add_argument("--json", action="store_true", help="print the raw record as JSON")
     p_run.set_defaults(func=cmd_run)
@@ -299,9 +354,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=[],
         metavar="KEY=V1,V2,...",
-        help="sweep axis; repeat for a cartesian product",
+        help=(
+            "sweep axis; repeat for a cartesian product. Dotted keys sweep "
+            "spec override paths (e.g. flows.0.params.max_rtt=0.25,0.5)"
+        ),
     )
     p_sweep.add_argument("--set", action="append", default=[], metavar="KEY=VALUE")
+    p_sweep.add_argument(
+        "--override", action="append", default=[], metavar="PATH=VALUE", help=override_help
+    )
     p_sweep.add_argument("--out", help="JSONL output path (default results/<scenario>-sweep.jsonl)")
     p_sweep.add_argument("--quiet", action="store_true", help="suppress per-run progress")
     p_sweep.set_defaults(func=cmd_sweep)

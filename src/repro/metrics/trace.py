@@ -21,6 +21,10 @@ Channels emitted by the built-in probes
                  echoed feedback.
 ``queue``        ``(t, link_name, queue_length)`` sampled queue occupancy
                  (:class:`QueueOccupancyProbe`).
+``tfrc_report``  ``(t, flow_id, rate_bps, receive_rate_bps, loss_event_rate)``
+                 one event per feedback report a TFRC sender processed; TFRC
+                 receivers additionally share the ``loss_event`` and
+                 ``feedback`` channels with their TFMCC counterparts.
 ``dynamics``     ``(t, kind, target)`` time-scripted network events applied
                  by the scenario builder (link failures, parameter steps,
                  membership churn).
@@ -159,6 +163,15 @@ def summarise_trace(
         "sender_rate": summary_stats(rates),
         "queue": summary_stats(queue_samples),
     }
+    tfrc_reports = [e for e in recorder.events("tfrc_report") if e[0] >= warmup]
+    if tfrc_reports:
+        # Present only when TFRC flows ran, so TFMCC-only summaries (and
+        # with them pre-redesign records) are unchanged.
+        summary["tfrc"] = {
+            "reports": len(tfrc_reports),
+            "rate": summary_stats([e[2] for e in tfrc_reports]),
+            "loss_event_rate": summary_stats([e[4] for e in tfrc_reports]),
+        }
     dynamics_events = recorder.events("dynamics")
     route_rebuilds = recorder.events("route_rebuild")
     if dynamics_events or route_rebuilds:

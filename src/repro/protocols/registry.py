@@ -1,0 +1,150 @@
+"""Core protocol-registry types (kept import-light on purpose).
+
+:mod:`repro.scenarios.spec` consults this registry while validating
+:class:`FlowSpec` instances, so this module must not import the scenario
+spec (or anything that does) at module level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios.build import BuiltScenario
+    from repro.scenarios.spec import FlowSpec
+
+#: Endpoint shapes a protocol can declare.
+ENDPOINTS = ("unicast", "multicast")
+
+
+@dataclass
+class BuiltFlow:
+    """One flow of a built scenario: its spec, agents and monitor ids.
+
+    ``monitor_ids`` is the *live* list of throughput-monitor flow ids this
+    flow reports under in result records; multicast flows append to it when
+    receivers join dynamically, so it must be read after the run.
+    ``loss_histories`` declares the flow's loss-interval sources (objects
+    with an ``intervals`` attribute) for the trace summary — factories set
+    it explicitly so the collection layer never has to know a protocol's
+    agent layout.
+    """
+
+    spec: "FlowSpec"
+    name: str
+    record_kind: str
+    monitor_ids: List[str] = field(default_factory=list)
+    agents: Tuple[Any, ...] = ()
+    loss_histories: Tuple[Any, ...] = ()
+
+
+@dataclass(frozen=True)
+class ProtocolFactory:
+    """A registered transport protocol the scenario layer can build.
+
+    Parameters
+    ----------
+    kind:
+        Spec-level flow kind (``FlowSpec.kind``), e.g. ``"tfmcc"``.
+    description:
+        One-line description for CLI listings and docs.
+    record_kind:
+        Per-kind label used for the flow in result records.  Distinct from
+        ``kind`` so e.g. ``tcp-reno`` flows keep the historical ``"tcp"``
+        record label (and with it byte-identical pre-redesign records).
+    endpoint:
+        ``"unicast"`` (requires ``FlowSpec.dst``) or ``"multicast"``
+        (requires ``FlowSpec.receivers``; ``dst`` must stay unset).
+    param_names:
+        Allowed keys of ``FlowSpec.params`` for this protocol.
+    required_params:
+        Keys that must be present (e.g. ``rate_bps`` for CBR).
+    build:
+        ``build(built, flow) -> BuiltFlow`` — materialise the flow into
+        live agents attached to ``built.network``.
+    check_params:
+        Optional eager value validation, called with the params mapping at
+        spec-construction time so bad ablation values fail before a sweep
+        fans out.  Must raise ``ValueError`` (or ``TypeError``) on bad input.
+    """
+
+    kind: str
+    description: str
+    record_kind: str
+    endpoint: str
+    param_names: FrozenSet[str]
+    build: Callable[["BuiltScenario", "FlowSpec"], BuiltFlow]
+    required_params: FrozenSet[str] = frozenset()
+    check_params: Optional[Callable[[Dict[str, Any]], Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.endpoint not in ENDPOINTS:
+            raise ValueError(
+                f"protocol {self.kind!r}: endpoint must be one of {ENDPOINTS}"
+            )
+
+    def validate(self, flow: "FlowSpec") -> None:
+        """Raise ``ValueError`` if ``flow`` is malformed for this protocol."""
+        if self.endpoint == "unicast":
+            if not flow.dst:
+                raise ValueError(f"{self.kind} flow requires a dst node")
+            if flow.receivers:
+                raise ValueError(
+                    f"{self.kind} is a unicast protocol; it takes dst=, not receivers="
+                )
+        else:
+            if flow.dst is not None:
+                raise ValueError(
+                    f"{self.kind} is a multicast protocol; it takes receivers=, not dst="
+                )
+        unknown = set(flow.params) - self.param_names
+        if unknown:
+            raise ValueError(
+                f"unknown {self.kind} params: {sorted(unknown)} "
+                f"(accepted: {sorted(self.param_names)})"
+            )
+        missing = self.required_params - set(flow.params)
+        if missing:
+            raise ValueError(f"{self.kind} flow requires params: {sorted(missing)}")
+        if self.check_params is not None:
+            try:
+                self.check_params(flow.params)
+            except TypeError as exc:
+                raise ValueError(f"bad {self.kind} params: {exc}") from None
+
+
+_REGISTRY: Dict[str, ProtocolFactory] = {}
+
+
+def register_protocol(factory: ProtocolFactory) -> ProtocolFactory:
+    if factory.kind in _REGISTRY:
+        raise ValueError(f"protocol {factory.kind!r} already registered")
+    _REGISTRY[factory.kind] = factory
+    return factory
+
+
+def get_protocol(kind: str) -> ProtocolFactory:
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown flow kind {kind!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def protocol_kinds() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def protocols() -> List[ProtocolFactory]:
+    return [_REGISTRY[kind] for kind in sorted(_REGISTRY)]

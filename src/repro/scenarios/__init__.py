@@ -28,6 +28,7 @@ from repro.scenarios.spec import (
     DuplexLinkSpec,
     DynamicsSpec,
     EdgeSpec,
+    FlowSpec,
     GilbertElliottSpec,
     ImpairmentSpec,
     MetricsSpec,
@@ -51,6 +52,7 @@ __all__ = [
     "DuplexLinkSpec",
     "DynamicsSpec",
     "EdgeSpec",
+    "FlowSpec",
     "GilbertElliottSpec",
     "ImpairmentSpec",
     "MetricsSpec",

@@ -1,10 +1,13 @@
 """Turn a :class:`~repro.scenarios.spec.ScenarioSpec` into live simulation.
 
-``build_scenario`` constructs the simulator, topology, TFMCC sessions
-(including membership schedules), TCP flows and background sources exactly in
-spec order, so that a given (spec, seed) pair always produces the same event
-sequence — and therefore bit-identical results — regardless of where or how
-the run is executed (inline, CLI, or a sweep worker process).
+``build_scenario`` constructs the simulator and topology, then materialises
+every flow of the spec's unified ``flows`` tuple through the protocol
+registry (:mod:`repro.protocols`) exactly in spec order — TFMCC sessions
+with membership schedules, TFRC flows, TCP flows, background sources, and
+any protocol registered later — so that a given (spec, seed) pair always
+produces the same event sequence — and therefore bit-identical results —
+regardless of where or how the run is executed (inline, CLI, or a sweep
+worker process).
 
 ``run_scenario`` is the pure function used by the sweep runner: it builds,
 runs, and reduces the simulation to a JSON-compatible result record.
@@ -16,8 +19,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import TFMCCConfig
-from repro.experiments.common import add_tcp_flow
 from repro.metrics.trace import QueueOccupancyProbe, TraceRecorder, summarise_trace
+from repro.protocols import BuiltFlow, get_protocol
 from repro.scenarios.spec import (
     ChainSpec,
     CustomSpec,
@@ -33,7 +36,7 @@ from repro.session import TFMCCSession
 from repro.simulator.engine import Simulator
 from repro.simulator.link import GilbertElliottLoss
 from repro.simulator.monitor import ThroughputMonitor, fairness_index
-from repro.simulator.sources import CBRSource, OnOffSource, TrafficSink
+from repro.simulator.sources import TrafficSink
 from repro.simulator.topology import Network
 
 
@@ -249,6 +252,8 @@ class BuiltScenario:
     sim: Simulator
     network: Network
     monitor: ThroughputMonitor
+    #: One entry per spec flow, in spec order (built by the protocol registry).
+    flows: List[BuiltFlow] = field(default_factory=list)
     sessions: List[TFMCCSession] = field(default_factory=list)
     #: Receiver ids per session, in spec order (including scheduled joiners).
     receiver_ids: List[List[str]] = field(default_factory=list)
@@ -273,14 +278,21 @@ def build_scenario(
 ) -> BuiltScenario:
     """Materialise ``spec`` into a ready-to-run simulation.
 
-    ``config`` optionally overrides the TFMCC protocol configuration of every
-    session (the protocol parameters are deliberately not part of the
-    scenario spec; ablations pass them separately).  ``recorder`` attaches
-    the structured trace probes; when None, ``spec.metrics.with_trace``
-    creates one implicitly so that tracing also works through the
-    multiprocessing sweep path (the recorder itself stays in the worker, the
-    record carries its summary).
+    Every flow in ``spec.flows`` is built, in spec order, by the factory its
+    ``kind`` names in the protocol registry (:mod:`repro.protocols`).
+
+    ``config`` is deprecated: it now round-trips through the spec
+    (``spec.with_tfmcc_config(config)`` serialises it into every TFMCC
+    flow's ``params``) rather than bypassing it, so the effective spec is
+    exactly what a sweep worker or JSON file would see.  New code should put
+    protocol parameters in ``FlowSpec.params`` directly.  ``recorder``
+    attaches the structured trace probes; when None,
+    ``spec.metrics.with_trace`` creates one implicitly so that tracing also
+    works through the multiprocessing sweep path (the recorder itself stays
+    in the worker, the record carries its summary).
     """
+    if config is not None:
+        spec = spec.with_tfmcc_config(config)
     sim = Simulator(seed=seed)
     network = build_network(sim, spec.topology)
     monitor = ThroughputMonitor(sim, interval=spec.metrics.interval)
@@ -297,74 +309,12 @@ def build_scenario(
             sim, recorder, network.links, interval=spec.metrics.trace_queue_interval
         ).start()
 
-    for flow_index, flow in enumerate(spec.tfmcc):
-        # An explicit session name keeps flow/receiver ids deterministic:
-        # the default falls back to a process-global counter, which would
-        # make records differ between sweep workers.
-        session = TFMCCSession(
-            sim,
-            network,
-            sender_node=flow.sender_node,
-            config=config,
-            monitor=monitor,
-            name=flow.name or f"tfmcc{flow_index}",
-            probe=recorder,
-        )
-        rids: List[str] = []
-        # Receivers with join_at=0 are created at build time, before the
-        # sender starts (matching the hand-written drivers); any positive
-        # join_at is honoured literally via the event queue, as are leaves.
-        for rs in flow.receivers:
-            if rs.join_at <= 0.0:
-                receiver = session.add_receiver(
-                    rs.node, receiver_id=rs.receiver_id, leave_at=rs.leave_at
-                )
-                rids.append(receiver.receiver_id)
-            else:
-                rids.append(
-                    session.add_receiver_at(
-                        rs.join_at, rs.node, receiver_id=rs.receiver_id, leave_at=rs.leave_at
-                    )
-                )
-        session.start(flow.start)
-        if flow.stop is not None:
-            session.stop(flow.stop)
-        built.sessions.append(session)
-        built.receiver_ids.append(rids)
-
-    for tcp in spec.tcp:
-        add_tcp_flow(
-            sim,
-            network,
-            tcp.flow_id,
-            tcp.src,
-            tcp.dst,
-            monitor,
-            start=tcp.start,
-            stop=tcp.stop,
-        )
-
-    for bg in spec.background:
-        if bg.kind == "onoff":
-            source: CBRSource = OnOffSource(
-                sim,
-                bg.flow_id,
-                bg.dst,
-                bg.rate_bps,
-                packet_size=bg.packet_size,
-                on_time=bg.on_time,
-                off_time=bg.off_time,
-                exponential=bg.exponential,
-            )
-        else:
-            source = CBRSource(sim, bg.flow_id, bg.dst, bg.rate_bps, packet_size=bg.packet_size)
-        sink = TrafficSink(sim, bg.flow_id, monitor=monitor)
-        network.attach(bg.src, source)
-        network.attach(bg.dst, sink)
-        source.start(bg.start)
-        if bg.stop is not None:
-            source.stop(bg.stop)
-        built.background[bg.flow_id] = (source, sink)
+    # Flows build strictly in spec order — the construction order (and with
+    # it every RNG draw downstream) is part of the determinism contract.
+    # Session/flow names are canonical in the spec, so records never depend
+    # on process-local counters.
+    for flow in spec.flows:
+        built.flows.append(get_protocol(flow.kind).build(built, flow))
 
     if spec.dynamics:
         _schedule_dynamics(built)
@@ -391,14 +341,17 @@ def collect_record(built: BuiltScenario) -> Dict[str, Any]:
             series[flow_id] = [[t, v] for t, v in monitor.series(flow_id, 0.0, duration)]
         return avg
 
-    tfmcc_rates: List[float] = []
-    for rids in built.receiver_ids:
-        for rid in rids:
-            tfmcc_rates.append(add_flow(rid, "tfmcc"))
-    tcp_rates = [add_flow(tcp.flow_id, "tcp") for tcp in spec.tcp]
-    for bg in spec.background:
-        add_flow(bg.flow_id, "background")
+    # Per-kind rate pools: flows report under their protocol's record label
+    # ("tfmcc" receivers, "tcp", "tfrc", "background"), in flow order.
+    kind_rates: Dict[str, List[float]] = {"tfmcc": [], "tcp": [], "tfrc": []}
+    for built_flow in built.flows:
+        rates = kind_rates.get(built_flow.record_kind)
+        for flow_id in built_flow.monitor_ids:
+            avg = add_flow(flow_id, built_flow.record_kind)
+            if rates is not None:
+                rates.append(avg)
 
+    tfmcc_rates, tcp_rates = kind_rates["tfmcc"], kind_rates["tcp"]
     tfmcc_mean = sum(tfmcc_rates) / len(tfmcc_rates) if tfmcc_rates else 0.0
     tcp_mean = sum(tcp_rates) / len(tcp_rates) if tcp_rates else 0.0
 
@@ -412,8 +365,18 @@ def collect_record(built: BuiltScenario) -> Dict[str, Any]:
         "tfmcc_mean_bps": tfmcc_mean,
         "tcp_mean_bps": tcp_mean,
         "tfmcc_tcp_ratio": (tfmcc_mean / tcp_mean) if tcp_mean > 0 else None,
-        "fairness_index": fairness_index(tfmcc_rates + tcp_rates),
+        # All adaptive transports join the Jain index; the TFRC list is
+        # empty for specs without tfrc flows, so pre-redesign records are
+        # byte-identical.
+        "fairness_index": fairness_index(tfmcc_rates + tcp_rates + kind_rates["tfrc"]),
     }
+    if any(bf.record_kind == "tfrc" for bf in built.flows):
+        # Only specs carrying TFRC flows get the extra keys, so pre-redesign
+        # records stay byte-identical.
+        tfrc_rates = kind_rates["tfrc"]
+        tfrc_mean = sum(tfrc_rates) / len(tfrc_rates) if tfrc_rates else 0.0
+        record["tfrc_mean_bps"] = tfrc_mean
+        record["tfmcc_tfrc_ratio"] = (tfmcc_mean / tfrc_mean) if tfrc_mean > 0 else None
     if spec.metrics.link_stats:
         record["links"] = {
             "packets_sent": sum(l.packets_sent for l in built.network.links),
@@ -434,6 +397,13 @@ def collect_record(built: BuiltScenario) -> Dict[str, Any]:
             for session in built.sessions
             for receiver in session.receivers.values()
         ]
+        # Flows that declared loss-history sources (TFRC receivers share the
+        # loss-interval machinery) join the summary too.
+        loss_intervals.extend(
+            history.intervals
+            for built_flow in built.flows
+            for history in built_flow.loss_histories
+        )
         record["trace"] = summarise_trace(
             built.recorder, warmup=t_start, loss_intervals=loss_intervals
         )
@@ -446,7 +416,12 @@ def run_scenario(
     config: Optional[TFMCCConfig] = None,
     recorder: Optional[TraceRecorder] = None,
 ) -> Dict[str, Any]:
-    """Build, run and summarise ``spec`` — deterministic in (spec, seed)."""
+    """Build, run and summarise ``spec`` — deterministic in (spec, seed).
+
+    ``config`` is deprecated (see :func:`build_scenario`): prefer protocol
+    parameters in ``FlowSpec.params``, e.g. via
+    ``spec.with_overrides(**{"flows.0.params.max_rtt": 0.3})``.
+    """
     built = build_scenario(spec, seed=seed, config=config, recorder=recorder)
     built.run()
     return built.collect()

@@ -20,6 +20,8 @@ Registered scenarios
 ``bandwidth_step``          DYNAMICS: bottleneck bandwidth step (Figure 13).
 ``loss_step_responsiveness`` DYNAMICS: loss step + CLR hand-off (Figure 17).
 ``receiver_churn``          DYNAMICS: scripted join/leave churn schedules.
+``tfmcc_vs_tfrc``           FLOWS: TFMCC vs its unicast ancestor, same path.
+``protocol_mix``            FLOWS: every registered transport on one bottleneck.
 
 Default parameter values are sized for interactive CLI use (seconds, not
 minutes, of wall clock); pass e.g. ``--set duration=200`` for paper-like
@@ -39,6 +41,7 @@ from repro.scenarios.spec import (
     DuplexLinkSpec,
     DynamicsSpec,
     EdgeSpec,
+    FlowSpec,
     GilbertElliottSpec,
     ImpairmentSpec,
     MetricsSpec,
@@ -696,6 +699,105 @@ def receiver_churn_spec(
     )
 
 
+# ------------------------------------------------------ mixed-protocol flows
+
+
+def tfmcc_vs_tfrc_spec(
+    bottleneck_bps: float = 2e6,
+    bottleneck_delay: float = 0.02,
+    duration: float = 60.0,
+    warmup_fraction: float = 0.25,
+    with_series: bool = False,
+) -> ScenarioSpec:
+    """NEW: TFMCC (one receiver) against its unicast ancestor TFRC.
+
+    Both flows cross the same dumbbell bottleneck.  The paper's core design
+    claim is that TFMCC degenerates to TFRC-like behaviour with a single
+    receiver (Section 1 / Figure 1 theme), so the two flows should split
+    the bottleneck roughly evenly and show similar smoothness; the record
+    carries ``tfmcc_tfrc_ratio`` for exactly this comparison.
+    """
+    topology = DumbbellSpec(
+        num_left=2,
+        num_right=2,
+        bottleneck_bps=bottleneck_bps,
+        bottleneck_delay=bottleneck_delay,
+        access_bps=bottleneck_bps * 12.5,
+        access_delay=0.001,
+    )
+    return ScenarioSpec(
+        name="tfmcc_vs_tfrc",
+        description="TFMCC (single receiver) vs unicast TFRC on one bottleneck",
+        duration=duration,
+        topology=topology,
+        flows=(
+            FlowSpec(kind="tfmcc", src="src0", receivers=(ReceiverSpec(node="dst0"),)),
+            FlowSpec(kind="tfrc", src="src1", dst="dst1"),
+        ),
+        metrics=MetricsSpec(warmup_fraction=warmup_fraction, with_series=with_series),
+    )
+
+
+def protocol_mix_spec(
+    bottleneck_bps: float = 4e6,
+    bottleneck_delay: float = 0.02,
+    cbr_fraction: float = 0.1,
+    onoff_fraction: float = 0.15,
+    on_time: float = 2.0,
+    off_time: float = 2.0,
+    duration: float = 60.0,
+    warmup_fraction: float = 0.25,
+) -> ScenarioSpec:
+    """NEW: one flow of every registered transport on a shared bottleneck.
+
+    TFMCC, TFRC, TCP Reno, a CBR source at ``cbr_fraction`` of the
+    bottleneck and an on-off source averaging ``onoff_fraction`` of it all
+    contend on one dumbbell — the head-to-head the paper implies (adaptive
+    transports must share fairly while absorbing inelastic cross traffic)
+    but the scenario layer previously could not express.  Also the CI
+    smoke-check that every registered protocol kind stays buildable.
+    """
+    if not 0.0 < cbr_fraction < 1.0 or not 0.0 < onoff_fraction < 1.0:
+        raise ValueError("traffic fractions must be in (0, 1)")
+    topology = DumbbellSpec(
+        num_left=5,
+        num_right=5,
+        bottleneck_bps=bottleneck_bps,
+        bottleneck_delay=bottleneck_delay,
+        access_bps=bottleneck_bps * 12.5,
+        access_delay=0.001,
+    )
+    duty_cycle = on_time / (on_time + off_time) if (on_time + off_time) > 0 else 1.0
+    return ScenarioSpec(
+        name="protocol_mix",
+        description="TFMCC + TFRC + TCP + CBR + on-off background on one bottleneck",
+        duration=duration,
+        topology=topology,
+        flows=(
+            FlowSpec(kind="tfmcc", src="src0", receivers=(ReceiverSpec(node="dst0"),)),
+            FlowSpec(kind="tfrc", src="src1", dst="dst1"),
+            FlowSpec(kind="tcp-reno", src="src2", dst="dst2"),
+            FlowSpec(
+                kind="cbr",
+                src="src3",
+                dst="dst3",
+                params={"rate_bps": bottleneck_bps * cbr_fraction},
+            ),
+            FlowSpec(
+                kind="onoff",
+                src="src4",
+                dst="dst4",
+                params={
+                    "rate_bps": bottleneck_bps * onoff_fraction / duty_cycle,
+                    "on_time": on_time,
+                    "off_time": off_time,
+                },
+            ),
+        ),
+        metrics=MetricsSpec(warmup_fraction=warmup_fraction),
+    )
+
+
 # ------------------------------------------------------------- registration
 
 register(
@@ -780,5 +882,19 @@ register(
         name="receiver_churn",
         description="Scripted receiver join/leave churn schedules (dynamics)",
         build=receiver_churn_spec,
+    )
+)
+register(
+    ScenarioFactory(
+        name="tfmcc_vs_tfrc",
+        description="TFMCC (single receiver) vs unicast TFRC on one bottleneck (flows)",
+        build=tfmcc_vs_tfrc_spec,
+    )
+)
+register(
+    ScenarioFactory(
+        name="protocol_mix",
+        description="One flow of every registered transport on one bottleneck (flows)",
+        build=protocol_mix_spec,
     )
 )

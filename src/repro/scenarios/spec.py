@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Type, TypeVar
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type, TypeVar
 
 T = TypeVar("T")
 
@@ -31,12 +31,22 @@ def _from_mapping(cls: Type[T], data: Mapping[str, Any]) -> T:
     return cls(**data)
 
 
+def _replace_dataclass(obj: Any, field_name: str, value: Any) -> Any:
+    """``dataclasses.replace`` that routes ScenarioSpec through its shim."""
+    if isinstance(obj, ScenarioSpec):
+        return _replace_spec(obj, **{field_name: value})
+    return replace(obj, **{field_name: value})
+
+
 def _replace_nested(obj: Any, full_key: str, parts: Sequence[str], value: Any) -> Any:
     """Immutably set a dotted path inside nested spec dataclasses/tuples.
 
     Each level is rebuilt with ``dataclasses.replace`` (re-running its
-    validation); integer path segments index into tuples.  Raises a clear
-    ``ValueError`` naming the full dotted key on any bad segment.
+    validation); integer path segments index into tuples, string segments
+    key into plain mappings (``FlowSpec.params``) — a *leaf* mapping key may
+    be new, so overrides can set protocol parameters the spec left at their
+    defaults.  Raises a clear ``ValueError`` naming the full dotted key on
+    any bad segment.
     """
     head, rest = parts[0], parts[1:]
     if isinstance(obj, tuple):
@@ -54,6 +64,19 @@ def _replace_nested(obj: Any, full_key: str, parts: Sequence[str], value: Any) -
             )
         new_item = value if not rest else _replace_nested(obj[index], full_key, rest, value)
         return obj[:index] + (new_item,) + obj[index + 1 :]
+    if isinstance(obj, Mapping):
+        if rest:
+            if head not in obj:
+                raise ValueError(
+                    f"override {full_key!r}: mapping has no key {head!r} "
+                    f"(keys: {', '.join(sorted(map(str, obj))) or 'none'})"
+                )
+            new_item = _replace_nested(obj[head], full_key, rest, value)
+        else:
+            new_item = value
+        new_map = dict(obj)
+        new_map[head] = new_item
+        return new_map
     if not is_dataclass(obj):
         raise ValueError(
             f"override {full_key!r}: cannot descend into {type(obj).__name__} "
@@ -65,7 +88,7 @@ def _replace_nested(obj: Any, full_key: str, parts: Sequence[str], value: Any) -
             f"(fields: {', '.join(sorted(f.name for f in fields(obj)))})"
         )
     new_value = value if not rest else _replace_nested(getattr(obj, head), full_key, rest, value)
-    return replace(obj, **{head: new_value})
+    return _replace_dataclass(obj, head, new_value)
 
 
 # --------------------------------------------------------------- impairments
@@ -311,6 +334,220 @@ class BackgroundFlowSpec:
             raise ValueError(f"unknown background flow kind {self.kind!r}")
 
 
+# ------------------------------------------------------- unified flow spec
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One transport flow of any registered protocol kind.
+
+    The unified traffic unit of the scenario layer: ``kind`` names a
+    protocol registered in :mod:`repro.protocols` (built-ins: ``tfmcc``,
+    ``tfrc``, ``tcp-reno``, ``cbr``, ``onoff``), ``src`` is the sending
+    node, and the far end is either a unicast ``dst`` node or a tuple of
+    multicast ``receivers`` — the registered protocol dictates which.
+
+    ``params`` carries per-flow protocol parameters as plain JSON data
+    (TFMCCConfig fields for tfmcc/tfrc, TCP knobs for tcp-reno, source
+    shape for cbr/onoff), so protocol ablations are expressible in specs,
+    sweep grids and dotted override paths (``flows.0.params.max_rtt``)
+    without any side-channel.
+
+    ``name`` defaults to ``<kind><per-kind-index>`` (assigned by the owning
+    :class:`ScenarioSpec`), which is also the flow id in result records.
+    """
+
+    kind: str
+    src: str
+    dst: Optional[str] = None
+    receivers: Tuple[ReceiverSpec, ...] = ()
+    name: Optional[str] = None
+    start: float = 0.0
+    stop: Optional[float] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "receivers", tuple(self.receivers))
+        object.__setattr__(self, "params", dict(self.params))
+        if self.start < 0:
+            raise ValueError(f"flow start must be >= 0, got {self.start}")
+        if self.stop is not None and self.stop <= self.start:
+            raise ValueError(
+                f"flow stop ({self.stop}) must be after start ({self.start})"
+            )
+        # Late import: the protocol factories import simulator/session code,
+        # none of which is needed to merely define specs.
+        from repro.protocols import get_protocol
+
+        get_protocol(self.kind).validate(self)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "FlowSpec":
+        data = dict(data)
+        receivers = tuple(
+            _from_mapping(ReceiverSpec, r) for r in data.pop("receivers", ())
+        )
+        params = dict(data.pop("params", None) or {})
+        return _from_mapping(FlowSpec, {**data, "receivers": receivers, "params": params})
+
+
+#: Legacy ScenarioSpec traffic fields replaced by the unified ``flows``.
+LEGACY_TRAFFIC_FIELDS = ("tfmcc", "tcp", "background")
+
+
+def _legacy_to_flows(
+    tfmcc: Sequence[TfmccFlowSpec],
+    tcp: Sequence[TcpFlowSpec],
+    background: Sequence[BackgroundFlowSpec],
+) -> Tuple[FlowSpec, ...]:
+    """Normalise the legacy per-family traffic fields into unified flows.
+
+    Order (all tfmcc, then tcp, then background) matches the pre-redesign
+    builder's construction order, which is part of the determinism
+    contract: fixed-seed records of legacy specs stay byte-identical.
+    """
+    flows = []
+    for f in tfmcc:
+        flows.append(
+            FlowSpec(
+                kind="tfmcc",
+                src=f.sender_node,
+                receivers=f.receivers,
+                name=f.name,
+                start=f.start,
+                stop=f.stop,
+            )
+        )
+    for t in tcp:
+        flows.append(
+            FlowSpec(
+                kind="tcp-reno",
+                src=t.src,
+                dst=t.dst,
+                name=t.flow_id,
+                start=t.start,
+                stop=t.stop,
+            )
+        )
+    for b in background:
+        params: Dict[str, Any] = {"rate_bps": b.rate_bps, "packet_size": b.packet_size}
+        if b.kind == "onoff":
+            params.update(
+                on_time=b.on_time, off_time=b.off_time, exponential=b.exponential
+            )
+        flows.append(
+            FlowSpec(
+                kind=b.kind,
+                src=b.src,
+                dst=b.dst,
+                name=b.flow_id,
+                start=b.start,
+                stop=b.stop,
+                params=params,
+            )
+        )
+    return tuple(flows)
+
+
+def _canonicalise_flow_names(flows: Sequence[FlowSpec]) -> Tuple[FlowSpec, ...]:
+    """Fill in default flow names (``<kind><per-kind-index>``), reject dupes.
+
+    The per-kind index counts *all* flows of the kind (named or not), which
+    reproduces the legacy builder's ``tfmcc{i}`` session naming exactly.
+    """
+    per_kind: Dict[str, int] = {}
+    named: List[FlowSpec] = []
+    seen: Dict[str, int] = {}
+    for position, flow in enumerate(flows):
+        index = per_kind.get(flow.kind, 0)
+        per_kind[flow.kind] = index + 1
+        if flow.name is None:
+            flow = replace(flow, name=f"{flow.kind}{index}")
+        if flow.name in seen:
+            raise ValueError(
+                f"duplicate flow name {flow.name!r} (flows {seen[flow.name]} "
+                f"and {position})"
+            )
+        seen[flow.name] = position
+        named.append(flow)
+    return tuple(named)
+
+
+def _legacy_views(
+    flows: Sequence[FlowSpec],
+) -> Tuple[Tuple[TfmccFlowSpec, ...], Tuple[TcpFlowSpec, ...], Tuple[BackgroundFlowSpec, ...]]:
+    """Derive the read-only legacy-field views of a canonical flow tuple.
+
+    The views keep old call sites (``spec.tcp`` etc.) working; flow kinds
+    without a legacy family (e.g. ``tfrc``) simply do not appear in them.
+    """
+    tfmcc: List[TfmccFlowSpec] = []
+    tcp: List[TcpFlowSpec] = []
+    background: List[BackgroundFlowSpec] = []
+    for f in flows:
+        if f.kind == "tfmcc":
+            tfmcc.append(
+                TfmccFlowSpec(
+                    sender_node=f.src,
+                    receivers=f.receivers,
+                    start=f.start,
+                    stop=f.stop,
+                    name=f.name,
+                )
+            )
+        elif f.kind == "tcp-reno":
+            tcp.append(
+                TcpFlowSpec(flow_id=f.name, src=f.src, dst=f.dst, start=f.start, stop=f.stop)
+            )
+        elif f.kind in ("cbr", "onoff"):
+            p = f.params
+            background.append(
+                BackgroundFlowSpec(
+                    flow_id=f.name,
+                    src=f.src,
+                    dst=f.dst,
+                    rate_bps=p["rate_bps"],
+                    packet_size=p.get("packet_size", 1000),
+                    kind=f.kind,
+                    on_time=p.get("on_time", 1.0),
+                    off_time=p.get("off_time", 1.0),
+                    exponential=p.get("exponential", True),
+                    start=f.start,
+                    stop=f.stop,
+                )
+            )
+    return tuple(tfmcc), tuple(tcp), tuple(background)
+
+
+def _replace_spec(spec: "ScenarioSpec", **changes: Any) -> "ScenarioSpec":
+    """``dataclasses.replace`` for ScenarioSpec, resolving flow authority.
+
+    ``flows`` and the legacy traffic fields describe the same traffic, so a
+    plain ``replace`` of one would conflict with the carried-over other.
+    Replacing ``flows`` drops the (derived) legacy views; replacing a legacy
+    field is honoured only when the spec is fully expressible in legacy
+    terms (otherwise flows of other kinds would be silently lost).
+    """
+    legacy_changed = [k for k in LEGACY_TRAFFIC_FIELDS if k in changes]
+    if "flows" in changes:
+        if legacy_changed:
+            raise ValueError(
+                "cannot replace 'flows' and legacy traffic fields "
+                f"({', '.join(legacy_changed)}) in one call"
+            )
+        for k in LEGACY_TRAFFIC_FIELDS:
+            changes.setdefault(k, ())
+    elif legacy_changed:
+        if _legacy_to_flows(spec.tfmcc, spec.tcp, spec.background) != spec.flows:
+            raise ValueError(
+                f"scenario {spec.name!r} contains flows the legacy "
+                f"tfmcc/tcp/background fields cannot express; replace "
+                f"'flows' (e.g. override flows.N.<field>) instead"
+            )
+        changes.setdefault("flows", ())
+    return replace(spec, **changes)
+
+
 # ------------------------------------------------------------------ dynamics
 
 
@@ -477,7 +714,16 @@ class MetricsSpec:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """A complete, self-contained description of one simulation run."""
+    """A complete, self-contained description of one simulation run.
+
+    Traffic is a single ordered tuple of :class:`FlowSpec` in ``flows``.
+    The pre-redesign per-family fields ``tfmcc`` / ``tcp`` / ``background``
+    remain as thin compatibility shims: passing them at construction (or in
+    a stored JSON dict) normalises them into ``flows`` in the historical
+    build order, and after construction they hold read-only views derived
+    from ``flows`` so existing call sites keep working.  Flow kinds without
+    a legacy family (e.g. ``tfrc``) appear only in ``flows``.
+    """
 
     name: str
     duration: float
@@ -488,11 +734,29 @@ class ScenarioSpec:
     metrics: MetricsSpec = field(default_factory=MetricsSpec)
     dynamics: DynamicsSpec = NO_DYNAMICS
     description: str = ""
+    flows: Tuple[FlowSpec, ...] = ()
 
     def __post_init__(self) -> None:
+        legacy = (tuple(self.tfmcc), tuple(self.tcp), tuple(self.background))
+        flows = tuple(self.flows)
+        if not flows:
+            flows = _legacy_to_flows(*legacy)
+        flows = _canonicalise_flow_names(flows)
+        views = _legacy_views(flows)
+        if any(legacy) and tuple(self.flows) and legacy != views:
+            raise ValueError(
+                f"scenario {self.name!r}: define traffic either via flows= or "
+                "via the legacy tfmcc=/tcp=/background= fields, not a "
+                "conflicting mix (use ScenarioSpec.with_overrides, which "
+                "resolves the two representations)"
+            )
+        object.__setattr__(self, "flows", flows)
+        object.__setattr__(self, "tfmcc", views[0])
+        object.__setattr__(self, "tcp", views[1])
+        object.__setattr__(self, "background", views[2])
         if self.duration <= 0:
             raise ValueError("duration must be positive")
-        if not self.tfmcc and not self.tcp and not self.background:
+        if not self.flows:
             raise ValueError(f"scenario {self.name!r} defines no traffic")
         for event in self.dynamics.events:
             if event.at >= self.duration:
@@ -508,8 +772,16 @@ class ScenarioSpec:
     # ------------------------------------------------------------ serialisation
 
     def to_dict(self) -> Dict[str, Any]:
+        """Canonical dict form: traffic appears under ``flows`` only.
+
+        The derived legacy views are omitted — they normalise back losslessly
+        on :meth:`from_dict`, which still also accepts pre-redesign dicts
+        that carry ``tfmcc`` / ``tcp`` / ``background`` keys instead.
+        """
         data = asdict(self)
         data["topology"] = self.topology.to_dict()
+        for legacy_field in LEGACY_TRAFFIC_FIELDS:
+            data.pop(legacy_field, None)
         return data
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -519,6 +791,7 @@ class ScenarioSpec:
     def from_dict(data: Mapping[str, Any]) -> "ScenarioSpec":
         data = dict(data)
         topology = topology_from_dict(data.pop("topology"))
+        flows = tuple(FlowSpec.from_dict(f) for f in data.pop("flows", ()))
         tfmcc = tuple(TfmccFlowSpec.from_dict(f) for f in data.pop("tfmcc", ()))
         tcp = tuple(_from_mapping(TcpFlowSpec, f) for f in data.pop("tcp", ()))
         background = tuple(
@@ -533,6 +806,7 @@ class ScenarioSpec:
             {
                 **data,
                 "topology": topology,
+                "flows": flows,
                 "tfmcc": tfmcc,
                 "tcp": tcp,
                 "background": background,
@@ -556,12 +830,37 @@ class ScenarioSpec:
             spec.with_overrides(**{"topology.bottleneck_bps": 2e6})
             spec.with_overrides(**{"topology.leaves.0.bandwidth": 1e6})
             spec.with_overrides(**{"metrics.with_trace": True})
+            spec.with_overrides(**{"flows.0.params.max_rtt": 0.3})
+
+        Protocol parameters live in each flow's ``params`` mapping, so the
+        last form makes protocol ablations sweepable; a leaf params key may
+        be new (the spec left it at the protocol default).  Paths through
+        the legacy ``tfmcc``/``tcp``/``background`` views are honoured as
+        long as the spec is expressible in legacy terms.
         """
         spec = self
         flat = {k: v for k, v in changes.items() if "." not in k}
         if flat:
-            spec = replace(spec, **flat)
+            spec = _replace_spec(spec, **flat)
         for key, value in changes.items():
             if "." in key:
                 spec = _replace_nested(spec, key, key.split("."), value)
         return spec
+
+    def with_tfmcc_config(self, config: Any) -> "ScenarioSpec":
+        """Copy with ``config`` (a TFMCCConfig) applied to every TFMCC flow.
+
+        The config is serialised into each tfmcc flow's ``params`` (replacing
+        whatever was there), so the returned spec is self-contained: it
+        JSON-round-trips and sweeps with the protocol parameters intact.
+        This is the spec-level replacement for the old ``build_scenario``
+        ``config=`` side-channel.
+        """
+        from repro.protocols import config_to_params
+
+        params = config_to_params(config)
+        flows = tuple(
+            replace(f, params=dict(params)) if f.kind == "tfmcc" else f
+            for f in self.flows
+        )
+        return _replace_spec(self, flows=flows)

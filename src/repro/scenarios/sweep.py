@@ -42,6 +42,19 @@ def expand_grid(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
     return combos
 
 
+def split_params(params: Mapping[str, Any]) -> "tuple[Dict[str, Any], Dict[str, Any]]":
+    """Split run parameters into (factory params, dotted override paths).
+
+    Keys containing a ``.`` are spec override paths applied with
+    :meth:`ScenarioSpec.with_overrides` after the factory built the spec —
+    e.g. ``flows.0.params.max_rtt`` to ablate a protocol parameter, or
+    ``topology.bottleneck_bps`` to vary the topology directly.
+    """
+    factory_params = {k: v for k, v in params.items() if "." not in k}
+    overrides = {k: v for k, v in params.items() if "." in k}
+    return factory_params, overrides
+
+
 @dataclass(frozen=True)
 class SweepRun:
     """One unit of work: a concrete scenario plus its seed and position."""
@@ -53,10 +66,15 @@ class SweepRun:
     spec_dict: Optional[Dict[str, Any]] = None
 
     def resolve_spec(self) -> ScenarioSpec:
+        factory_params, overrides = split_params(self.params)
         if self.spec_dict is not None:
-            return ScenarioSpec.from_dict(self.spec_dict)
-        assert self.scenario is not None
-        return get_scenario(self.scenario).spec(**self.params)
+            spec = ScenarioSpec.from_dict(self.spec_dict)
+        else:
+            assert self.scenario is not None
+            spec = get_scenario(self.scenario).spec(**factory_params)
+        if overrides:
+            spec = spec.with_overrides(**overrides)
+        return spec
 
 
 # Specs are immutable, so replications of the same grid point can share one
@@ -102,12 +120,16 @@ class SweepRunner:
     ----------
     scenario:
         Name of a registered scenario, or a concrete :class:`ScenarioSpec`
-        (the grid then overrides nothing — only replications vary the seed).
+        (which accepts dotted override axes only — there is no factory to
+        take plain parameters).
     grid:
-        Mapping of factory parameter name to the list of values to sweep.
+        Mapping of parameter name to the list of values to sweep.  A plain
+        name is a factory parameter; a dotted name is a spec override path
+        applied after the factory (``flows.0.params.max_rtt`` ablates a
+        protocol parameter, ``topology.bottleneck_bps`` the topology).
     params:
-        Fixed factory parameters applied to every run (overridden by grid
-        values on collision).
+        Fixed parameters applied to every run (overridden by grid values on
+        collision); plain and dotted names as for ``grid``.
     replications:
         Seeded repetitions of every grid point.
     base_seed:
@@ -134,14 +156,19 @@ class SweepRunner:
         self.replications = replications
         self.base_seed = base_seed
         self.jobs = jobs
+        plain, _dotted = split_params({**self.params, **self.grid})
         if isinstance(scenario, ScenarioSpec):
             self.scenario_name: Optional[str] = None
             self._spec_dict: Optional[Dict[str, Any]] = scenario.to_dict()
-            if self.grid or self.params:
-                raise ValueError("grid/params only apply to registry scenarios, not concrete specs")
+            if plain:
+                raise ValueError(
+                    f"plain factory parameters {sorted(plain)} only apply to "
+                    "registry scenarios; concrete specs accept dotted override "
+                    "paths (e.g. 'flows.0.params.max_rtt') only"
+                )
         else:
             factory = get_scenario(scenario)  # fail fast on unknown names
-            factory.validate_params(set(self.params) | set(self.grid))
+            factory.validate_params(set(plain))
             self.scenario_name = scenario
             self._spec_dict = None
 

@@ -4,7 +4,10 @@
 TFMCC sender on one node, receivers on other nodes, joins them to a multicast
 group, and offers convenience methods for dynamic membership (join / leave at
 a given simulation time), which the responsiveness and late-join experiments
-use heavily.
+use heavily.  The scenario layer's ``tfmcc`` protocol factory
+(:mod:`repro.protocols.tfmcc`) builds sessions from declarative
+:class:`~repro.scenarios.spec.FlowSpec` data; this class remains the
+hand-scripted interface underneath it.
 
 Example
 -------
@@ -130,13 +133,16 @@ class TFMCCSession:
         node_id: str,
         receiver_id: Optional[str] = None,
         clock_offset: float = 0.0,
+        config: Optional[TFMCCConfig] = None,
         leave_at: Optional[float] = None,
     ) -> str:
         """Schedule a receiver join at simulation time ``time``.
 
         Returns the receiver id that will be used (the receiver object itself
         is created when the join happens; look it up in :attr:`receivers`).
-        ``leave_at`` optionally schedules the matching departure.
+        ``config`` optionally overrides the session's protocol configuration
+        for this receiver (matching :meth:`add_receiver`); ``leave_at``
+        optionally schedules the matching departure.
         """
         if leave_at is not None and leave_at <= time:
             raise ValueError(
@@ -144,7 +150,10 @@ class TFMCCSession:
             )
         rid = receiver_id or f"{self.name}-rcv{next(self._receiver_counter)}"
         self.sim.schedule_at(
-            time, lambda: self.add_receiver(node_id, receiver_id=rid, clock_offset=clock_offset)
+            time,
+            lambda: self.add_receiver(
+                node_id, receiver_id=rid, clock_offset=clock_offset, config=config
+            ),
         )
         if leave_at is not None:
             self.remove_receiver_at(leave_at, rid)

@@ -47,6 +47,8 @@ class TFRCReceiver(Agent):
         self._rtt_from_sender = self.config.initial_rtt
         self.packets_received = 0
         self.feedback_sent = 0
+        # Optional TraceRecorder (same pattern as the TFMCC receiver).
+        self.probe = None
 
     def receive_rate(self) -> float:
         """Receive rate in bytes/s over the recent arrival window."""
@@ -77,14 +79,23 @@ class TFRCReceiver(Agent):
         rate_before = self.receive_rate()
         had_loss = self.history.has_loss
         new_events = self.detector.on_packet(header.seq, header.timestamp)
-        if new_events > 0 and not had_loss:
-            interval = initial_loss_interval(
-                self.config.packet_size, self._rtt_from_sender, max(rate_before, 1.0)
-            )
-            self.history.seed_first_interval(interval)
-            # Losses must be reported without delay.
-            self._send_feedback()
-            return
+        if new_events > 0:
+            first_loss = not had_loss
+            if first_loss:
+                interval = initial_loss_interval(
+                    self.config.packet_size, self._rtt_from_sender, max(rate_before, 1.0)
+                )
+                self.history.seed_first_interval(interval)
+            # Seed before emitting so the traced rate is the post-seed value
+            # (same ordering as the TFMCC receiver).
+            if self.probe is not None:
+                self.probe.emit(
+                    "loss_event", now, self.flow_id, new_events, self.history.loss_event_rate
+                )
+            if first_loss:
+                # Losses must be reported without delay.
+                self._send_feedback()
+                return
         if self._feedback_timer is None or not self._feedback_timer.pending:
             self._feedback_timer = self.sim.schedule(self._rtt_from_sender, self._send_feedback)
 

@@ -46,6 +46,9 @@ class TFRCSender(Agent):
         self.running = False
         self._send_timer: Optional[EventHandle] = None
         self._no_feedback_timer: Optional[EventHandle] = None
+        # Optional TraceRecorder; None keeps every probe branch to a single
+        # attribute test (same pattern as the TFMCC sender).
+        self.probe = None
 
     @property
     def current_rate_bps(self) -> float:
@@ -131,6 +134,17 @@ class TFRCSender(Agent):
             # Slowstart: at most double once per RTT, bounded by 2 * X_recv.
             self.current_rate = max(
                 self.min_rate, min(2.0 * receive_rate, 2.0 * self.current_rate)
+            )
+        if self.probe is not None:
+            # Unicast: the single receiver is trivially the current limiter.
+            self.probe.emit("feedback", now, self.flow_id, self.flow_id, True)
+            self.probe.emit(
+                "tfrc_report",
+                now,
+                self.flow_id,
+                self.current_rate * 8.0,
+                receive_rate * 8.0,
+                report.loss_event_rate,
             )
         self._arm_no_feedback_timer()
 

@@ -144,6 +144,8 @@ def test_registry_contains_paper_and_new_scenarios():
         "bandwidth_step",
         "loss_step_responsiveness",
         "receiver_churn",
+        "tfmcc_vs_tfrc",
+        "protocol_mix",
     ):
         assert expected in names
     assert len(scenarios()) == len(names)

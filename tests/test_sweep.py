@@ -225,6 +225,62 @@ def test_cli_sweep_writes_jsonl(tmp_path, capsys):
     assert {r["run"]["params"]["num_tcp"] for r in records} == {2, 3}
 
 
+def test_cli_show_prints_flow_table_on_stderr(capsys):
+    assert cli_main(["show", "protocol_mix"]) == 0
+    captured = capsys.readouterr()
+    json.loads(captured.out)  # stdout stays pure JSON
+    assert "flows (5):" in captured.err
+    for kind in ("tfmcc", "tfrc", "tcp-reno", "cbr", "onoff"):
+        assert kind in captured.err
+
+
+def test_cli_run_with_protocol_override(tmp_path, capsys):
+    out_file = tmp_path / "run.jsonl"
+    rc = cli_main(
+        [
+            "run",
+            "scaling",
+            "--set",
+            "duration=5.0",
+            "--set",
+            "num_receivers=2",
+            "--override",
+            "flows.0.params.max_rtt=0.25",
+            "--json",
+            "--out",
+            str(out_file),
+        ]
+    )
+    assert rc == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["run"]["params"]["flows.0.params.max_rtt"] == 0.25
+    assert cli_main(["run", "scaling", "--override", "flows.0.params.mtu=1"]) == 2
+
+
+def test_cli_sweep_with_dotted_grid(tmp_path):
+    out_file = tmp_path / "sweep.jsonl"
+    rc = cli_main(
+        [
+            "sweep",
+            "scaling",
+            "--reps",
+            "1",
+            "--grid",
+            "flows.0.params.max_rtt=0.25,0.5",
+            "--set",
+            "duration=5.0",
+            "--set",
+            "num_receivers=2",
+            "--out",
+            str(out_file),
+            "--quiet",
+        ]
+    )
+    assert rc == 0
+    records = [json.loads(line) for line in out_file.read_text().splitlines()]
+    assert [r["run"]["params"]["flows.0.params.max_rtt"] for r in records] == [0.25, 0.5]
+
+
 def test_cli_error_handling(capsys):
     assert cli_main(["run", "no-such-scenario"]) == 2
     assert "error:" in capsys.readouterr().err
