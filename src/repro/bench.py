@@ -100,24 +100,40 @@ def _bench_engine_churn(quick: bool) -> Dict[str, Any]:
     }
 
 
-def _scenario_workload(scenario: str, seed: int, duration: float, **params: Any) -> Dict[str, Any]:
-    """Build and run one registry scenario, timing build and run separately."""
+def _scenario_workload(
+    scenario: str,
+    seed: int,
+    duration: float,
+    engine: Optional[str] = None,
+    **params: Any,
+) -> Dict[str, Any]:
+    """Build and run one registry scenario, timing build and run separately.
+
+    ``engine`` selects a non-default simulation engine (the build goes
+    through the engine registry either way when set, so engine dispatch
+    overhead is part of what the workload measures).
+    """
     # Imported lazily so `repro bench --list` stays instant.
-    from repro.scenarios.build import build_scenario
+    from repro.engines import get_engine
     from repro.scenarios.registry import get_scenario
 
     spec = get_scenario(scenario).spec(duration=duration, **params)
+    if engine is not None:
+        spec = spec.with_overrides(**{"engine.kind": engine})
     start = time.perf_counter()
-    built = build_scenario(spec, seed=seed)
+    built = get_engine(spec.engine.kind).build(spec, seed=seed)
     built_at = time.perf_counter()
     built.run()
     finished = time.perf_counter()
+    record_params = {"scenario": scenario, "duration": duration, **params}
+    if engine is not None:
+        record_params["engine"] = engine
     return {
         "events": built.sim.events_processed,
         "build_s": built_at - start,
         "run_s": finished - built_at,
         "seed": seed,
-        "params": {"scenario": scenario, "duration": duration, **params},
+        "params": record_params,
     }
 
 
@@ -131,10 +147,23 @@ def _bench_scaling_200(quick: bool) -> Dict[str, Any]:
     )
 
 
+def _bench_scaling_10k_cohort(quick: bool) -> Dict[str, Any]:
+    # 10k receivers is ~50x beyond what the exact engine can bench; the
+    # cohort engine must keep this in the same ballpark as scaling_200.
+    return _scenario_workload(
+        "scaling",
+        seed=1,
+        duration=15.0 if quick else 45.0,
+        num_receivers=10_000,
+        engine="cohort",
+    )
+
+
 WORKLOADS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "engine_churn": _bench_engine_churn,
     "dumbbell_fairness": _bench_dumbbell_fairness,
     "scaling_200": _bench_scaling_200,
+    "scaling_10k_cohort": _bench_scaling_10k_cohort,
 }
 
 

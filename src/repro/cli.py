@@ -89,11 +89,36 @@ def _parse_grid(args: Sequence[str]) -> Dict[str, List[Any]]:
     return grid
 
 
+def _split_overrides(factory, set_args: Sequence[str], override_args: Sequence[str], engine: Optional[str] = None):
+    """Split CLI inputs into factory params and spec overrides.
+
+    Plain (undotted) ``--override`` keys that name a scenario parameter are
+    routed into the factory call — ``--override num_receivers=10000`` means
+    the parameter, not a (nonexistent) spec field.  ``--engine`` is sugar
+    for ``--override engine.kind=...`` and wins over both.
+    """
+    params = _parse_set(set_args)
+    overrides = _parse_set(override_args)
+    for key in [k for k in overrides if "." not in k and k in factory.defaults]:
+        params[key] = overrides.pop(key)
+    if engine:
+        overrides["engine.kind"] = engine
+    return params, overrides
+
+
 def _summarise(record: Dict[str, Any], out=None) -> None:
     out = out if out is not None else sys.stdout
     ratio = record.get("tfmcc_tcp_ratio")
     print(f"scenario : {record['scenario']}  (seed {record['seed']})", file=out)
     print(f"duration : {record['duration']:.1f} s simulated, {record['events']} events", file=out)
+    engine = record.get("engine")
+    if engine:
+        print(
+            f"engine   : {engine['kind']}  "
+            f"({engine['receivers_cohort']} of {engine['receivers_total']} "
+            f"receivers vectorised, {engine['tracer_receivers']} tracers)",
+            file=out,
+        )
     print(f"tfmcc    : {record['tfmcc_mean_bps'] / 1e3:10.1f} kbit/s (mean over receivers)", file=out)
     if record.get("tcp_mean_bps"):
         print(f"tcp      : {record['tcp_mean_bps'] / 1e3:10.1f} kbit/s (mean over flows)", file=out)
@@ -159,20 +184,20 @@ def _flow_table(spec, out) -> None:
 
 def cmd_show(args: argparse.Namespace) -> int:
     factory = get_scenario(args.scenario)
-    spec = factory.spec(**_parse_set(args.set))
-    overrides = _parse_set(args.override)
+    params, overrides = _split_overrides(factory, args.set, args.override, args.engine)
+    spec = factory.spec(**params)
     if overrides:
         spec = spec.with_overrides(**overrides)
     print(spec.to_json(indent=2))
     # The table goes to stderr so stdout stays machine-parseable JSON.
+    print(f"engine: {spec.engine.kind} (tracers={spec.engine.tracer_receivers})", file=sys.stderr)
     _flow_table(spec, sys.stderr)
     return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     factory = get_scenario(args.scenario)
-    params = _parse_set(args.set)
-    overrides = _parse_set(args.override)
+    params, overrides = _split_overrides(factory, args.set, args.override, args.engine)
     spec = factory.spec(**params)
     if overrides:
         spec = spec.with_overrides(**overrides)
@@ -184,6 +209,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         "seed": args.seed,
         "params": {**params, **overrides},
         "scenario": args.scenario,
+        "engine": spec.engine.kind,
     }
     if args.out:
         ResultStore(args.out).append(record)
@@ -201,6 +227,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # Fixed dotted overrides ride in params; SweepRun.resolve_spec applies
     # them (and dotted grid axes) via ScenarioSpec.with_overrides.
     params = {**_parse_set(args.set), **_parse_set(args.override)}
+    if args.engine:
+        params["engine.kind"] = args.engine
     runner = SweepRunner(
         args.scenario,
         grid=grid,
@@ -322,6 +350,10 @@ def build_parser() -> argparse.ArgumentParser:
         "override a spec field by dotted path, e.g. flows.0.params.max_rtt=0.3 "
         "or topology.bottleneck_bps=2e6; repeatable"
     )
+    engine_help = (
+        "simulation engine (shorthand for --override engine.kind=...): "
+        "'exact' (default, per-packet) or 'cohort' (vectorised receivers)"
+    )
 
     p_show = sub.add_parser("show", help="print the JSON spec of a scenario")
     p_show.add_argument("scenario")
@@ -329,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_show.add_argument(
         "--override", action="append", default=[], metavar="PATH=VALUE", help=override_help
     )
+    p_show.add_argument("--engine", default=None, help=engine_help)
     p_show.set_defaults(func=cmd_show)
 
     p_run = sub.add_parser("run", help="run one scenario and print a summary")
@@ -338,6 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--override", action="append", default=[], metavar="PATH=VALUE", help=override_help
     )
+    p_run.add_argument("--engine", default=None, help=engine_help)
     p_run.add_argument("--out", help="append the result record to this JSONL file")
     p_run.add_argument("--json", action="store_true", help="print the raw record as JSON")
     p_run.set_defaults(func=cmd_run)
@@ -363,6 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--override", action="append", default=[], metavar="PATH=VALUE", help=override_help
     )
+    p_sweep.add_argument("--engine", default=None, help=engine_help)
     p_sweep.add_argument("--out", help="JSONL output path (default results/<scenario>-sweep.jsonl)")
     p_sweep.add_argument("--quiet", action="store_true", help="suppress per-run progress")
     p_sweep.set_defaults(func=cmd_sweep)

@@ -1,0 +1,38 @@
+"""Pluggable simulation engines.
+
+A scenario spec names its engine in ``ScenarioSpec.engine.kind``; the
+run/sweep path resolves it through :func:`get_engine` and calls the
+factory's ``build``.  Built-in engines:
+
+``exact``
+    The reference per-packet discrete-event engine — every receiver is a
+    full agent (:mod:`repro.engines.exact`).
+``cohort``
+    Vectorised aggregate-receiver engine for very large TFMCC populations —
+    exact CLR/tracer agents plus numpy cohorts stepped once per feedback
+    round (:mod:`repro.engines.cohort`; needs the ``repro[cohort]`` extra).
+"""
+
+from repro.engines.registry import (
+    EngineFactory,
+    EngineUnavailableError,
+    engine_kinds,
+    engines,
+    get_engine,
+    register_engine,
+)
+
+# Importing the built-in engine modules registers them (same pattern as
+# repro.protocols).  Both modules are import-light: numpy and the scenario
+# builder load lazily inside build().
+from repro.engines import exact as _exact  # noqa: E402,F401
+from repro.engines import cohort as _cohort  # noqa: E402,F401
+
+__all__ = [
+    "EngineFactory",
+    "EngineUnavailableError",
+    "engine_kinds",
+    "engines",
+    "get_engine",
+    "register_engine",
+]

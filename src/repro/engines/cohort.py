@@ -1,0 +1,575 @@
+"""Vectorised aggregate-receiver ("cohort") engine.
+
+The paper's Section-3 analysis (implemented in
+:mod:`repro.analysis.scaling`) models a large receiver population
+statistically: each receiver's weighted-average loss interval is a random
+variable with a common mean, and the sender's rate tracks the *minimum*
+calculated rate over the population — an order statistic.  Only the current
+limiting receiver needs per-packet treatment; everyone else contributes a
+loss-interval sample and a suppression-timer draw per feedback round.
+
+This engine operationalises that model.  Per TFMCC flow it keeps a small
+*tracer* subset of receivers (``engine.tracer_receivers``, plus every
+receiver with a membership schedule) as exact per-packet agents built by
+the normal scenario builder — they anchor the measured loss-event process
+and RTT, and stay wired into the monitor/trace probes.  The remaining
+receivers become numpy arrays: per-receiver loss-interval histories, RTT
+estimates and calculated rates, stepped once per feedback round.  Each step
+draws fresh loss intervals from the anchor's measured loss process
+(independent exponential draws with the anchor's mean interval — exactly
+the Section-3 independence assumption), evaluates the Padhye equation and
+the biased feedback-suppression timers vectorised, and injects the winning
+receivers' reports into the sender as synthetic ``FeedbackHeader`` packets.
+The sender is engine-agnostic: a cohort receiver can become the CLR, in
+which case its report is refreshed every step (well inside the CLR
+timeout).
+
+Accuracy caveats (also documented in the README):
+
+* Cohort receivers draw *independent* loss intervals, while exact receivers
+  behind one shared bottleneck see positively correlated losses.  The
+  cohort therefore tracks the Section-3 lower envelope; exact mode sits
+  between that envelope and 1.
+* Cohort histories are seeded from the anchor's closed intervals when the
+  anchor experiences its first loss, rather than growing packet by packet.
+* A cohort CLR reports once per step (feedback round), not once per RTT.
+
+Scale: the per-step cost is ``O(num_receivers)`` numpy work, independent of
+the packet rate, so 10k-100k receivers cost a fixed small overhead on top
+of the tracer-only exact simulation.  The builder also prunes unused
+trailing dumbbell/star receiver nodes so topology construction (one
+shortest-path tree per node) stays proportional to the tracer count.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.equations import MAX_LOSS_RATE, MIN_LOSS_RATE
+from repro.core.feedback import BiasMethod
+from repro.core.headers import FeedbackHeader
+from repro.engines.registry import EngineFactory, EngineUnavailableError, register_engine
+from repro.simulator.packet import Packet, PacketType
+
+_UNSET = object()
+_np: Any = _UNSET
+
+
+def _numpy() -> Any:
+    """Import numpy once, lazily; ``None`` when it is not installed."""
+    global _np
+    if _np is _UNSET:
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+        _np = numpy
+    return _np
+
+
+def _available() -> Optional[str]:
+    if _numpy() is None:
+        return "numpy is not installed (pip install 'repro[cohort]')"
+    return None
+
+
+_DST_NODE = re.compile(r"^dst(\d+)$")
+_LEAF_NODE = re.compile(r"^leaf(\d+)$")
+
+
+# ----------------------------------------------------------- spec reduction
+
+
+def _stationary_loss_rate(impairment: Any) -> float:
+    """Long-run loss probability of a link impairment spec."""
+    rate = float(impairment.loss_rate or 0.0)
+    ge = impairment.gilbert_elliott
+    if ge is not None:
+        denom = ge.p_good_bad + ge.p_bad_good
+        bad_fraction = ge.p_good_bad / denom if denom > 0 else 0.0
+        rate = 1.0 - (1.0 - rate) * (
+            1.0 - (bad_fraction * ge.loss_bad + (1.0 - bad_fraction) * ge.loss_good)
+        )
+    return min(max(rate, 0.0), 1.0)
+
+
+def _leaf_properties(topology: Any, node: str) -> Tuple[float, float]:
+    """(private loss rate, one-way leaf delay) of a receiver node."""
+    from repro.scenarios.spec import StarSpec
+
+    if isinstance(topology, StarSpec):
+        match = _LEAF_NODE.match(node)
+        if match:
+            index = int(match.group(1))
+            if index < len(topology.leaves):
+                leaf = topology.leaves[index]
+                return _stationary_loss_rate(leaf.impairment), leaf.delay
+    # Dumbbell access links carry no configured loss; chains/custom
+    # topologies keep every receiver exact-adjacent anyway.
+    return 0.0, 0.0
+
+
+def _used_nodes(spec: Any, flows: Tuple[Any, ...]) -> set:
+    """Node names the reduced scenario still needs."""
+    used = set()
+    for flow in flows:
+        used.add(flow.src)
+        if flow.dst:
+            used.add(flow.dst)
+        for receiver in flow.receivers:
+            used.add(receiver.node)
+    for event in spec.dynamics.events:
+        for name in (event.a, event.b, event.node):
+            if name:
+                used.add(name)
+    for link in spec.topology.extra_links:
+        used.add(link.a)
+        used.add(link.b)
+    return used
+
+
+def _pruned_topology(topology: Any, used: set) -> Any:
+    """Shrink trailing unused receiver nodes out of the topology.
+
+    Topology build time is dominated by routing (one shortest-path tree per
+    node), so a 100k-receiver dumbbell must not materialise 100k ``dst``
+    nodes when only the tracers remain exact.  Node *names* are preserved:
+    only trailing indices no flow, dynamics event or extra link references
+    are dropped.
+    """
+    from repro.scenarios.spec import DumbbellSpec, StarSpec
+
+    if isinstance(topology, DumbbellSpec):
+        indices = [int(m.group(1)) for m in map(_DST_NODE.match, used) if m]
+        needed = max(indices) + 1 if indices else 1
+        if needed < topology.num_right:
+            return replace(topology, num_right=needed)
+    elif isinstance(topology, StarSpec):
+        indices = [int(m.group(1)) for m in map(_LEAF_NODE.match, used) if m]
+        needed = max(indices) + 1 if indices else 0
+        if needed < len(topology.leaves):
+            return replace(topology, leaves=topology.leaves[:needed])
+    return topology
+
+
+@dataclass
+class _CohortPlan:
+    """Per-flow partition of receivers into exact tracers and the cohort."""
+
+    flow_index: int
+    flow_name: str
+    #: (original receiver index, receiver id, node) per cohort member.
+    members: List[Tuple[int, str, str]] = field(default_factory=list)
+
+
+def _partition_spec(spec: Any, engine: Any) -> Tuple[Any, List[_CohortPlan]]:
+    """Split TFMCC receivers into exact tracers and vectorised cohorts.
+
+    Returns the reduced spec (tracers only, with pinned receiver ids so
+    they match the ids the full exact run would assign) and one plan per
+    flow that actually has a cohort.
+    """
+    plans: List[_CohortPlan] = []
+    new_flows = []
+    changed = False
+    for flow_index, flow in enumerate(spec.flows):
+        if flow.kind != "tfmcc" or len(flow.receivers) <= engine.tracer_receivers:
+            new_flows.append(flow)
+            continue
+        plan = _CohortPlan(flow_index=flow_index, flow_name=flow.name)
+        kept = []
+        static_kept = 0
+        for index, receiver in enumerate(flow.receivers):
+            rid = receiver.receiver_id or f"{flow.name}-rcv{index}"
+            scheduled = receiver.join_at > 0.0 or receiver.leave_at is not None
+            if scheduled or static_kept < engine.tracer_receivers:
+                # Pin the id the full exact run would have assigned (the
+                # session numbers receivers in spec order), so tracer
+                # monitor/trace ids match exact-mode records and cannot
+                # collide with cohort ids.
+                kept.append(replace(receiver, receiver_id=rid))
+                if not scheduled:
+                    static_kept += 1
+            else:
+                plan.members.append((index, rid, receiver.node))
+        if plan.members:
+            changed = True
+            new_flows.append(replace(flow, receivers=tuple(kept)))
+            plans.append(plan)
+        else:
+            new_flows.append(flow)
+    if not changed:
+        return spec, []
+    flows = tuple(new_flows)
+    topology = _pruned_topology(spec.topology, _used_nodes(spec, flows))
+    reduced = replace(spec, flows=flows, tfmcc=(), tcp=(), background=(), topology=topology)
+    return reduced, plans
+
+
+# ------------------------------------------------------------- cohort state
+
+
+class _FlowCohort:
+    """Vectorised per-round state of one flow's aggregated receivers."""
+
+    #: Feedback-report packet size, matching TFMCCReceiver.FEEDBACK_PACKET_SIZE.
+    FEEDBACK_PACKET_SIZE = 60
+
+    def __init__(self, built: Any, session: Any, plan: _CohortPlan, spec: Any, seed: int):
+        np = _numpy()
+        self.sim = built.sim
+        self.session = session
+        self.sender = session.sender
+        self.config = session.config
+        self.engine = spec.engine
+        self.ids = [rid for _, rid, _ in plan.members]
+        self._id_set = set(self.ids)
+        self.nodes = [node for _, _, node in plan.members]
+        n = len(self.ids)
+        self.n = n
+        # Deterministic in (spec, seed): independent of the simulator RNG so
+        # cohort draws do not perturb the exact sub-simulation's stream.
+        self.rng = np.random.Generator(
+            np.random.PCG64(int(seed) * 1000003 + plan.flow_index)
+        )
+        weights = np.asarray(self.config.loss_interval_weights, dtype=float)
+        self.weights = weights
+        self.weight_sum = float(weights.sum())
+        self.history_len = len(weights)
+        self.intervals = np.zeros((n, self.history_len), dtype=float)
+        self.open_pkts = np.zeros(n, dtype=float)
+        self.seeded = False
+        # Per-receiver loss and delay offsets from private (non-shared)
+        # path segments, resolved against the *original* topology.
+        private = np.empty(n, dtype=float)
+        delays = np.empty(n, dtype=float)
+        for i, node in enumerate(self.nodes):
+            loss, delay = _leaf_properties(spec.topology, node)
+            private[i] = loss
+            delays[i] = delay
+        anchor_node = None
+        exact_static = [
+            r for r in self._reduced_receivers(spec, plan) if r.join_at <= 0.0
+        ]
+        if exact_static:
+            anchor_node = exact_static[0].node
+        _, anchor_delay = _leaf_properties(spec.topology, anchor_node or "")
+        self.private_loss = private
+        self.rtt_offset = 2.0 * (delays - anchor_delay)
+        # Static multiplicative RTT jitter (access-link serialisation and
+        # queueing differ slightly per receiver).
+        self.rtt_jitter = self.rng.uniform(0.95, 1.05, size=n)
+        self._anchor_events = 0
+        self._last_step_time: Optional[float] = None
+        self._timer = None
+        # Statistics surfaced in the record's "engine" section.
+        self.steps = 0
+        self.reports_injected = 0
+        self.suppressed = 0
+        self._feedback_seq = 0
+
+    @staticmethod
+    def _reduced_receivers(spec: Any, plan: _CohortPlan) -> Tuple[Any, ...]:
+        return spec.flows[plan.flow_index].receivers if plan.flow_index < len(
+            spec.flows
+        ) else ()
+
+    # ------------------------------------------------------------ anchoring
+
+    def _anchor(self) -> Optional[Any]:
+        """The first live exact receiver: the measured-loss/RTT reference."""
+        for receiver in self.session.receivers.values():
+            return receiver
+        return None
+
+    # ----------------------------------------------------------- scheduling
+
+    def start(self, at: float) -> None:
+        delay = self._step_interval()
+        self._timer = self.sim.schedule_at(at + delay, self._step)
+
+    def _step_interval(self) -> float:
+        if self.engine.step_interval is not None:
+            return self.engine.step_interval
+        return self.sender._round_duration()
+
+    # ----------------------------------------------------------- round step
+
+    def _step(self) -> None:
+        np = _numpy()
+        now = self.sim.now
+        dt = now - self._last_step_time if self._last_step_time is not None else None
+        self._last_step_time = now
+        self.steps += 1
+        anchor = self._anchor()
+        if anchor is not None:
+            self._advance_state(np, anchor, dt)
+            if self.seeded:
+                self._emit_feedback(np, now)
+        self._timer = self.sim.reschedule(self._timer, self._step_interval(), self._step)
+
+    def _advance_state(self, np: Any, anchor: Any, dt: Optional[float]) -> None:
+        history = anchor.history
+        if not self.seeded:
+            if not history.has_loss:
+                return
+            closed = list(history.intervals)
+            mean_interval = max(sum(closed) / len(closed), 1.0)
+            # Independent Exp(mean) histories per receiver — the Section-3
+            # i.i.d. assumption.  Broadcasting the anchor's history instead
+            # would zero the cross-receiver variance and with it the
+            # order-statistic degradation the cohort exists to reproduce.
+            draws = self.rng.exponential(mean_interval, size=self.intervals.shape)
+            self.intervals[:] = np.maximum(draws, 1.0)
+            self.open_pkts[:] = self.rng.random(self.n) * max(history.open_interval, 0.0)
+            self._anchor_events = anchor.detector.loss_events
+            self.seeded = True
+            return
+        if dt is None or dt <= 0:
+            return
+        # Packets a cohort receiver saw this round: the multicast stream is
+        # one rate for everyone.
+        packets = max(self.sender.current_rate * dt / self.config.packet_size, 0.0)
+        shared_events = anchor.detector.loss_events - self._anchor_events
+        self._anchor_events = anchor.detector.loss_events
+        mean_interval = max(history.average_loss_interval(), 1.0)
+        # Expected loss events per receiver this step: the shared-bottleneck
+        # events the anchor measured plus each receiver's private-link loss.
+        lam = float(shared_events) + packets * self.private_loss
+        events = self.rng.poisson(lam) if np.any(lam > 0) else np.zeros(self.n, dtype=int)
+        events = np.minimum(events, self.history_len)
+        hit = events > 0
+        if np.any(hit):
+            # Shift per-receiver histories by their event count, filling the
+            # fresh slots with independent Exp(mean) interval draws — the
+            # Section-3 model of per-receiver loss-interval variation.
+            for count in range(1, self.history_len + 1):
+                rows = events == count
+                hits = int(np.count_nonzero(rows))
+                if not hits:
+                    continue
+                draws = self.rng.exponential(mean_interval, size=(hits, count))
+                np.maximum(draws, 1.0, out=draws)
+                self.intervals[rows, count:] = self.intervals[rows, : self.history_len - count]
+                self.intervals[rows, :count] = draws
+            # Residual open interval: a uniform fraction of this round's
+            # packets for receivers whose last event fell inside the round.
+            self.open_pkts[hit] = packets * self.rng.random(int(np.count_nonzero(hit)))
+        self.open_pkts[~hit] += packets
+
+    # ------------------------------------------------------------- reporting
+
+    def _rates(self, np: Any, anchor: Any) -> Tuple[Any, Any, Any]:
+        """Vectorised (calculated rate, loss-event rate, rtt) per receiver."""
+        closed_avg = self.intervals @ self.weights / self.weight_sum
+        # average_loss_interval: include the open interval when that raises
+        # the average (history discounting of the open interval).
+        with_open = (
+            self.open_pkts * self.weights[0]
+            + self.intervals[:, :-1] @ self.weights[1:]
+        ) / self.weight_sum
+        avg = np.maximum(closed_avg, with_open)
+        p = np.clip(1.0 / np.maximum(avg, 1.0), MIN_LOSS_RATE, MAX_LOSS_RATE)
+        anchor_rtt = anchor.rtt.rtt
+        rtt = np.maximum(anchor_rtt * self.rtt_jitter + self.rtt_offset, 1e-3)
+        # Padhye Equation (1), vectorised (rto = 4 * rtt as in TFRC).
+        term_fast = rtt * np.sqrt(2.0 * p / 3.0)
+        term_timeout = (4.0 * rtt) * (3.0 * np.sqrt(3.0 * p / 8.0)) * p * (1.0 + 32.0 * p * p)
+        calc = self.config.packet_size / (term_fast + term_timeout)
+        return calc, p, rtt
+
+    def _suppression_timers(self, np: Any, ratio: Any, max_delay: float) -> Any:
+        """Biased feedback timers, mirroring repro.core.feedback vectorised."""
+        u = 1.0 - self.rng.random(self.n)  # uniform in (0, 1]
+        estimate = max(self.config.receiver_estimate, 2)
+        exponential = np.maximum(
+            max_delay * (1.0 + np.log(u) / math.log(estimate)), 0.0
+        )
+        if self.config.bias_method is not BiasMethod.MODIFIED_OFFSET:
+            return exponential
+        low = self.config.rate_truncation_low
+        high = self.config.rate_truncation_high
+        truncated = (np.clip(ratio, low, high) - low) / (high - low)
+        offset = self.config.offset_fraction
+        return offset * truncated * max_delay + (1.0 - offset) * exponential
+
+    def _emit_feedback(self, np: Any, now: float) -> None:
+        anchor = self._anchor()
+        if anchor is None:
+            return
+        calc, p, rtt = self._rates(np, anchor)
+        send_rate = self.sender.current_rate
+        eligible = calc < send_rate
+        ratio = np.clip(calc / max(send_rate, 1e-9), 0.0, 1.0)
+        max_delay = self.config.feedback_delay_for_rate(max(send_rate * 8.0, 1.0))
+        timers = self._suppression_timers(np, ratio, max_delay)
+        reporters: List[int] = []
+        if np.any(eligible):
+            candidates = np.flatnonzero(eligible)
+            order = candidates[np.argsort(timers[candidates], kind="stable")]
+            first = int(order[0])
+            first_rate = float(calc[first])
+            reporters.append(first)
+            delta = self.config.cancellation_delta
+            for index in order[1:]:
+                if len(reporters) >= self.engine.max_reports_per_step:
+                    break
+                index = int(index)
+                # A later timer is cancelled by the echo of the first report
+                # unless it fires within one RTT of it, or its own rate is
+                # significantly lower than the echoed one (should_cancel).
+                hears_echo = timers[index] > timers[first] + rtt[index]
+                cancelled = first_rate - calc[index] <= delta * first_rate
+                if hears_echo and cancelled:
+                    continue
+                reporters.append(index)
+            self.suppressed += int(np.count_nonzero(eligible)) - len(reporters)
+        # The CLR (when it is a cohort receiver) refreshes its report every
+        # step regardless of suppression: CLR reports are never suppressed.
+        clr_id = self.sender.clr_id
+        if clr_id in self._id_set:
+            clr_index = self.ids.index(clr_id)
+            if clr_index not in reporters:
+                reporters.insert(0, clr_index)
+        for index in reporters:
+            self._inject_report(index, float(calc[index]), float(p[index]), float(rtt[index]), now)
+
+    def _inject_report(self, index: int, calc: float, p: float, rtt: float, now: float) -> None:
+        header = FeedbackHeader(
+            receiver_id=self.ids[index],
+            round_id=self.sender.round_id,
+            timestamp=now,
+            calculated_rate=calc,
+            receive_rate=min(calc, self.sender.current_rate),
+            have_rtt=True,
+            rtt=rtt,
+            loss_event_rate=p,
+            has_loss=True,
+        )
+        self._feedback_seq += 1
+        packet = Packet(
+            src=self.nodes[index],
+            dst=self.session.sender_node,
+            flow_id=self.session.flow_id,
+            size=self.FEEDBACK_PACKET_SIZE,
+            ptype=PacketType.FEEDBACK,
+            seq=self._feedback_seq,
+            sent_at=now,
+            payload=header,
+        )
+        # Delivered directly: cohort nodes have no per-packet presence, and
+        # the unicast return path is uncongested in the modelled scenarios.
+        self.sender.receive(packet)
+        self.reports_injected += 1
+
+    # ------------------------------------------------------------ reporting
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "flow": self.session.flow_id,
+            "receivers": self.n,
+            "steps": self.steps,
+            "reports": self.reports_injected,
+            "suppressed": self.suppressed,
+        }
+
+
+# ------------------------------------------------------------ built wrapper
+
+
+@dataclass
+class CohortBuiltScenario:
+    """Duck-typed BuiltScenario: exact tracer core plus cohort arrays."""
+
+    spec: Any  # the original (unreduced) spec
+    seed: int
+    inner: Any  # BuiltScenario of the reduced spec
+    cohorts: List[_FlowCohort] = field(default_factory=list)
+
+    # BuiltScenario surface, delegated to the exact core.
+    @property
+    def sim(self) -> Any:
+        return self.inner.sim
+
+    @property
+    def network(self) -> Any:
+        return self.inner.network
+
+    @property
+    def monitor(self) -> Any:
+        return self.inner.monitor
+
+    @property
+    def flows(self) -> Any:
+        return self.inner.flows
+
+    @property
+    def sessions(self) -> Any:
+        return self.inner.sessions
+
+    @property
+    def receiver_ids(self) -> Any:
+        return self.inner.receiver_ids
+
+    @property
+    def recorder(self) -> Any:
+        return self.inner.recorder
+
+    def run(self) -> float:
+        return self.inner.run()
+
+    def collect(self) -> Dict[str, Any]:
+        record = self.inner.collect()
+        record["engine"] = {
+            "kind": "cohort",
+            "tracer_receivers": self.spec.engine.tracer_receivers,
+            "receivers_total": sum(
+                len(flow.receivers) for flow in self.spec.flows if flow.kind == "tfmcc"
+            ),
+            "receivers_cohort": sum(cohort.n for cohort in self.cohorts),
+            "cohorts": [cohort.stats() for cohort in self.cohorts],
+        }
+        return record
+
+
+def _build_cohort(spec: Any, seed: int = 1, recorder: Optional[Any] = None) -> Any:
+    if _numpy() is None:
+        raise EngineUnavailableError(
+            "engine 'cohort' needs numpy; install the optional extra: "
+            "pip install 'repro[cohort]'"
+        )
+    from repro.scenarios.build import build_scenario
+
+    reduced, plans = _partition_spec(spec, spec.engine)
+    inner = build_scenario(reduced, seed=seed, recorder=recorder)
+    built = CohortBuiltScenario(spec=spec, seed=seed, inner=inner)
+    if plans:
+        # Sessions are appended in spec order; map flow index -> session.
+        tfmcc_sessions: Dict[int, Any] = {}
+        session_iter = iter(inner.sessions)
+        for flow_index, flow in enumerate(reduced.flows):
+            if flow.kind == "tfmcc":
+                tfmcc_sessions[flow_index] = next(session_iter)
+        for plan in plans:
+            session = tfmcc_sessions[plan.flow_index]
+            cohort = _FlowCohort(inner, session, plan, spec, seed)
+            start = spec.flows[plan.flow_index].start
+            cohort.start(start)
+            built.cohorts.append(cohort)
+    return built
+
+
+COHORT_ENGINE = register_engine(
+    EngineFactory(
+        kind="cohort",
+        description=(
+            "vectorised aggregate-receiver engine: exact CLR/tracer agents, "
+            "numpy cohort stepped once per feedback round"
+        ),
+        build=_build_cohort,
+        available=_available,
+    )
+)

@@ -1,0 +1,32 @@
+"""The reference per-packet engine, wrapped for the engine registry.
+
+``"exact"`` is the engine every result in this repository was produced with
+before the registry existed: :func:`repro.scenarios.build.build_scenario`
+materialises every receiver as a full per-packet agent.  The wrapper adds
+nothing — dispatching a default spec through the registry is byte-identical
+to calling ``build_scenario`` directly, which is what keeps the golden
+fixed-seed records valid.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.engines.registry import EngineFactory, register_engine
+
+
+def _build_exact(spec: Any, seed: int = 1, recorder: Optional[Any] = None) -> Any:
+    # Lazy import: the registry is imported during spec validation, which
+    # must not pull the whole builder stack along.
+    from repro.scenarios.build import build_scenario
+
+    return build_scenario(spec, seed=seed, recorder=recorder)
+
+
+EXACT_ENGINE = register_engine(
+    EngineFactory(
+        kind="exact",
+        description="reference per-packet discrete-event engine (every receiver exact)",
+        build=_build_exact,
+    )
+)

@@ -7,6 +7,12 @@ scale; pass ``scale="paper"`` for the original bandwidths, durations and
 receiver counts (slow in pure Python).
 """
 
-from repro.experiments.common import ExperimentScale, QUICK, PAPER, scaled
+from repro.experiments.common import (
+    ExperimentScale,
+    QUICK,
+    PAPER,
+    reset_duration_warnings,
+    scaled,
+)
 
-__all__ = ["ExperimentScale", "PAPER", "QUICK", "scaled"]
+__all__ = ["ExperimentScale", "PAPER", "QUICK", "reset_duration_warnings", "scaled"]

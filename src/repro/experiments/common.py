@@ -22,6 +22,17 @@ from repro.tcp.reno import TCPRenoSender
 from repro.tcp.sink import TCPSink
 
 
+#: Distinct (scale name, scaled duration, floor) clamps already warned
+#: about.  ExperimentScale is frozen, so the dedup set lives at module
+#: level; tests reset it via :func:`reset_duration_warnings`.
+_WARNED_DURATION_CLAMPS: set = set()
+
+
+def reset_duration_warnings() -> None:
+    """Forget which min-duration clamps have warned (test isolation)."""
+    _WARNED_DURATION_CLAMPS.clear()
+
+
 @dataclass(frozen=True)
 class ExperimentScale:
     """Scale factors applied to the paper's experiment parameters.
@@ -61,17 +72,23 @@ class ExperimentScale:
 
         If the scaled duration falls below :attr:`min_duration` the floor is
         returned instead, and a :class:`RuntimeWarning` explains that the
-        requested ``time_factor`` is effectively being overridden.
+        requested ``time_factor`` is effectively being overridden.  The
+        warning fires once per distinct (scale, duration) clamp, not once
+        per call: sweeps re-derive the same spec for every replication, and
+        repeating an identical warning hundreds of times buries real ones.
         """
         scaled_duration = seconds * self.time_factor
         if scaled_duration < self.min_duration:
-            warnings.warn(
-                f"scale {self.name!r}: scaled duration {scaled_duration:.2f} s is below "
-                f"the {self.min_duration:.2f} s floor; using the floor instead "
-                f"(set min_duration=0.0 to disable)",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+            key = (self.name, scaled_duration, self.min_duration)
+            if key not in _WARNED_DURATION_CLAMPS:
+                _WARNED_DURATION_CLAMPS.add(key)
+                warnings.warn(
+                    f"scale {self.name!r}: scaled duration {scaled_duration:.2f} s is below "
+                    f"the {self.min_duration:.2f} s floor; using the floor instead "
+                    f"(set min_duration=0.0 to disable)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             return self.min_duration
         return scaled_duration
 

@@ -19,6 +19,7 @@ from repro.metrics.aggregate import (
     group_records,
     load_records,
     merge_shards,
+    record_engine,
     record_param,
     scaling_points,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "degradation_curve",
     "load_records",
     "merge_shards",
+    "record_engine",
     "record_param",
     "group_records",
     "aggregate_field",

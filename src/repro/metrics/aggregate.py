@@ -57,6 +57,20 @@ def record_param(record: Dict[str, Any], name: str, default: Any = None) -> Any:
     return params.get(name, default)
 
 
+def record_engine(record: Dict[str, Any]) -> str:
+    """The simulation-engine kind that produced a record.
+
+    Prefers the ``run`` provenance stamp (present on CLI/sweep records),
+    falling back to the engine's own record section (present on non-exact
+    engines), then to the default ``"exact"`` — raw records produced by the
+    exact engine predate the registry and carry no marker at all.
+    """
+    run = record.get("run") or {}
+    if "engine" in run:
+        return run["engine"]
+    return (record.get("engine") or {}).get("kind", "exact")
+
+
 def _resolve_key(key: Union[str, KeyFunc]) -> KeyFunc:
     if callable(key):
         return key

@@ -51,6 +51,8 @@ def _to_sweep_run(request: RunRequest, index: int) -> SweepRun:
     spec = get_scenario(request.scenario).spec(**request.params)
     if request.metrics:
         spec = spec.with_overrides(metrics=replace(spec.metrics, **request.metrics))
+    if request.engine:
+        spec = spec.with_overrides(engine=replace(spec.engine, **request.engine))
     return SweepRun(
         index=index,
         seed=request.seed,

@@ -31,6 +31,7 @@ from repro.scenarios.spec import (
     FlowSpec,
     GilbertElliottSpec,
     ImpairmentSpec,
+    EngineSpec,
     MetricsSpec,
     NetworkEventSpec,
     ReceiverSpec,
@@ -55,6 +56,7 @@ __all__ = [
     "FlowSpec",
     "GilbertElliottSpec",
     "ImpairmentSpec",
+    "EngineSpec",
     "MetricsSpec",
     "NetworkEventSpec",
     "ReceiverSpec",

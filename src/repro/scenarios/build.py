@@ -418,10 +418,21 @@ def run_scenario(
 ) -> Dict[str, Any]:
     """Build, run and summarise ``spec`` — deterministic in (spec, seed).
 
+    Dispatches on ``spec.engine.kind`` through the engine registry; the
+    default ``"exact"`` engine is this module's :func:`build_scenario`, so
+    default-spec records are byte-identical to the pre-registry behaviour.
+
     ``config`` is deprecated (see :func:`build_scenario`): prefer protocol
     parameters in ``FlowSpec.params``, e.g. via
     ``spec.with_overrides(**{"flows.0.params.max_rtt": 0.3})``.
     """
-    built = build_scenario(spec, seed=seed, config=config, recorder=recorder)
+    if config is not None:
+        # The deprecated global-config path predates the engine registry and
+        # only the exact builder understands it.
+        built = build_scenario(spec, seed=seed, config=config, recorder=recorder)
+    else:
+        from repro.engines import get_engine
+
+        built = get_engine(spec.engine.kind).build(spec, seed=seed, recorder=recorder)
     built.run()
     return built.collect()

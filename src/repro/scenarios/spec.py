@@ -709,6 +709,56 @@ class MetricsSpec:
     trace_queue_interval: float = 0.5
 
 
+# -------------------------------------------------------------------- engine
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Which simulation engine executes the scenario, and how.
+
+    ``kind`` names an engine registered in :mod:`repro.engines` (built-ins:
+    ``"exact"``, the reference per-packet engine, and ``"cohort"``, which
+    models the non-CLR TFMCC receiver population as vectorised numpy state
+    stepped once per feedback round).  The remaining fields only apply to
+    the cohort engine:
+
+    ``tracer_receivers``
+        How many of each TFMCC flow's receivers stay exact per-packet
+        agents (wired into the normal monitor/trace probes); the rest are
+        aggregated into the cohort.  Receivers with membership schedules
+        always stay exact.
+    ``step_interval``
+        Cohort update period in simulated seconds; ``None`` steps once per
+        sender feedback round (the paper's natural feedback granularity).
+    ``max_reports_per_step``
+        Cap on synthetic (unsuppressed) cohort feedback reports injected
+        into the sender per step.
+    """
+
+    kind: str = "exact"
+    tracer_receivers: int = 2
+    step_interval: Optional[float] = None
+    max_reports_per_step: int = 4
+
+    def __post_init__(self) -> None:
+        # Validate the kind against the engine registry.  Imported lazily:
+        # the registry imports this module for type references, and spec
+        # construction is the first moment a kind can actually be wrong.
+        from repro.engines import engine_kinds
+
+        if self.kind not in engine_kinds():
+            raise ValueError(
+                f"unknown engine kind {self.kind!r}; "
+                f"registered: {', '.join(engine_kinds())}"
+            )
+        if self.tracer_receivers < 1:
+            raise ValueError("engine.tracer_receivers must be >= 1")
+        if self.step_interval is not None and self.step_interval <= 0:
+            raise ValueError("engine.step_interval must be positive")
+        if self.max_reports_per_step < 1:
+            raise ValueError("engine.max_reports_per_step must be >= 1")
+
+
 # -------------------------------------------------------------------- scenario
 
 
@@ -735,6 +785,7 @@ class ScenarioSpec:
     dynamics: DynamicsSpec = NO_DYNAMICS
     description: str = ""
     flows: Tuple[FlowSpec, ...] = ()
+    engine: EngineSpec = field(default_factory=EngineSpec)
 
     def __post_init__(self) -> None:
         legacy = (tuple(self.tfmcc), tuple(self.tcp), tuple(self.background))
@@ -801,6 +852,10 @@ class ScenarioSpec:
         metrics = _from_mapping(MetricsSpec, metrics) if metrics is not None else MetricsSpec()
         dynamics = data.pop("dynamics", None)
         dynamics = DynamicsSpec.from_dict(dynamics) if dynamics is not None else NO_DYNAMICS
+        # Dicts serialised before the engine registry existed carry no
+        # "engine" key; they resolve to the default exact engine.
+        engine = data.pop("engine", None)
+        engine = _from_mapping(EngineSpec, engine) if engine is not None else EngineSpec()
         return _from_mapping(
             ScenarioSpec,
             {
@@ -812,6 +867,7 @@ class ScenarioSpec:
                 "background": background,
                 "metrics": metrics,
                 "dynamics": dynamics,
+                "engine": engine,
             },
         )
 

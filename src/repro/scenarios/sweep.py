@@ -109,6 +109,7 @@ def execute_run(run: SweepRun) -> Dict[str, Any]:
         "seed": run.seed,
         "params": run.params,
         "scenario": run.scenario if run.scenario is not None else spec.name,
+        "engine": spec.engine.kind,
     }
     return record
 

@@ -1,0 +1,207 @@
+"""Engine registry and cohort-engine tests.
+
+Covers the pluggable-engine API (registration, dispatch, spec plumbing),
+the cohort engine's cross-validation against the exact engine on
+scaling-family scenarios, determinism of cohort sweeps across worker
+counts, and the EngineUnavailableError path when numpy is missing.
+"""
+
+import pytest
+
+from repro.engines import (
+    EngineFactory,
+    EngineUnavailableError,
+    engine_kinds,
+    engines,
+    get_engine,
+    register_engine,
+)
+from repro.scenarios import EngineSpec, ScenarioSpec
+from repro.scenarios.build import run_scenario
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.store import encode_record
+from repro.scenarios.sweep import SweepRunner
+
+
+# ------------------------------------------------------------------ registry
+
+
+def test_registry_has_builtin_engines():
+    assert engine_kinds() == ["cohort", "exact"]
+    assert {f.kind for f in engines()} == {"cohort", "exact"}
+    assert get_engine("exact").build is not None
+
+
+def test_unknown_engine_is_an_error():
+    with pytest.raises(ValueError, match="unknown engine"):
+        get_engine("warp-drive")
+    with pytest.raises(ValueError, match="unknown engine kind"):
+        EngineSpec(kind="warp-drive")
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_engine(
+            EngineFactory(kind="exact", description="dupe", build=lambda *a, **k: None)
+        )
+
+
+def test_engine_spec_validation():
+    with pytest.raises(ValueError, match="tracer_receivers"):
+        EngineSpec(tracer_receivers=0)
+    with pytest.raises(ValueError, match="step_interval"):
+        EngineSpec(step_interval=-1.0)
+    with pytest.raises(ValueError, match="max_reports_per_step"):
+        EngineSpec(max_reports_per_step=0)
+
+
+def test_engine_spec_flows_through_overrides_and_json():
+    spec = get_scenario("scaling").spec(num_receivers=4)
+    assert spec.engine == EngineSpec()  # default engine is exact
+    cohort = spec.with_overrides(**{"engine.kind": "cohort", "engine.tracer_receivers": 3})
+    assert cohort.engine.kind == "cohort"
+    assert cohort.engine.tracer_receivers == 3
+    round_tripped = ScenarioSpec.from_json(cohort.to_json())
+    assert round_tripped.engine == cohort.engine
+    # Pre-registry dicts carry no "engine" key and resolve to the default.
+    legacy = cohort.to_dict()
+    legacy.pop("engine")
+    assert ScenarioSpec.from_dict(legacy).engine == EngineSpec()
+
+
+def test_unavailable_engine_raises_at_build_not_at_spec(monkeypatch):
+    import repro.engines.cohort as cohort_module
+
+    spec = get_scenario("scaling").spec(num_receivers=8).with_overrides(
+        **{"engine.kind": "cohort"}
+    )  # spec construction must work without numpy
+    monkeypatch.setattr(cohort_module, "_np", None)
+    with pytest.raises(EngineUnavailableError, match="repro\\[cohort\\]"):
+        get_engine("cohort").build(spec, seed=1)
+    with pytest.raises(EngineUnavailableError, match="numpy"):
+        get_engine("cohort").check_available()
+
+
+# ------------------------------------------------------- cohort cross-check
+
+
+pytest.importorskip("numpy")
+
+#: Declared cross-validation tolerances (mirrors the scaling figure): the
+#: cohort's independent loss draws track the Section-3 lower envelope, the
+#: exact engine's correlated losses sit between that envelope and 1.
+COHORT_RATIO_SLACK = 0.35
+COHORT_RATIO_HEADROOM = 0.25
+
+
+def _model_ratio(n: int, records) -> float:
+    from repro.analysis.scaling import expected_minimum_rate_constant_loss
+
+    links = records["links"]
+    sent = links.get("packets_sent", 0)
+    drops = links.get("queue_drops", 0) + links.get("random_drops", 0)
+    p = max(drops / sent if sent else 0.0, 0.005)
+    return expected_minimum_rate_constant_loss(n, p, 0.06) / expected_minimum_rate_constant_loss(
+        1, p, 0.06
+    )
+
+
+@pytest.fixture(scope="module")
+def scaling_200_pair():
+    spec = get_scenario("scaling").spec(num_receivers=200, duration=45.0)
+    exact = get_engine("exact").build(spec, seed=3)
+    exact.run()
+    cohort_spec = spec.with_overrides(**{"engine.kind": "cohort"})
+    cohort = get_engine("cohort").build(cohort_spec, seed=3)
+    cohort.run()
+    return exact, cohort
+
+
+def test_cohort_vs_exact_throughput_and_fairness(scaling_200_pair):
+    exact, cohort = scaling_200_pair
+    rec_exact = exact.collect()
+    rec_cohort = cohort.collect()
+    ratio = rec_cohort["tfmcc_mean_bps"] / rec_exact["tfmcc_mean_bps"]
+    model = _model_ratio(200, rec_exact)
+    assert model - COHORT_RATIO_SLACK <= ratio <= 1.0 + COHORT_RATIO_HEADROOM, (
+        f"cohort/exact throughput ratio {ratio:.3f} outside "
+        f"[{model - COHORT_RATIO_SLACK:.3f}, {1.0 + COHORT_RATIO_HEADROOM:.3f}]"
+    )
+    # One flow, shared multicast rate: both modes must be (near-)perfectly
+    # fair across the receivers they report on.
+    assert rec_exact["fairness_index"] > 0.95
+    assert rec_cohort["fairness_index"] > 0.95
+    stats = rec_cohort["engine"]
+    assert stats["kind"] == "cohort"
+    assert stats["receivers_total"] == 200
+    assert stats["receivers_cohort"] == 200 - cohort.spec.engine.tracer_receivers
+    assert stats["cohorts"][0]["reports"] > 0
+
+
+def test_cohort_vs_exact_clr_identity(scaling_200_pair):
+    exact, cohort = scaling_200_pair
+    valid_ids = {f"tfmcc0-rcv{i}" for i in range(200)}
+    for built in (exact, cohort):
+        sender = built.sessions[0].sender
+        assert sender.clr_id in valid_ids, f"CLR {sender.clr_id!r} not a flow receiver"
+    # The cohort run's sender heard feedback from vectorised receivers.
+    cohort_ids = set(cohort.cohorts[0].ids)
+    assert cohort_ids.isdisjoint(set(cohort.sessions[0].receivers))
+    assert cohort.cohorts[0].reports_injected > 0
+
+
+def test_cohort_degenerates_to_exact_when_all_receivers_traced():
+    spec = get_scenario("scaling").spec(num_receivers=4, duration=20.0)
+    rec_exact = run_scenario(spec, seed=3)
+    traced = spec.with_overrides(
+        **{"engine.kind": "cohort", "engine.tracer_receivers": 4}
+    )
+    rec_cohort = run_scenario(traced, seed=3)
+    stats = rec_cohort.pop("engine")
+    assert stats["receivers_cohort"] == 0 and stats["cohorts"] == []
+    # With no receivers vectorised the engines are the same simulation.
+    assert encode_record(rec_cohort) == encode_record(rec_exact)
+
+
+def test_cohort_scales_past_exact_wall_time():
+    import time
+
+    spec = get_scenario("scaling").spec(num_receivers=10_000, duration=45.0)
+    cohort_spec = spec.with_overrides(**{"engine.kind": "cohort"})
+    start = time.perf_counter()
+    record = run_scenario(cohort_spec, seed=1)
+    wall = time.perf_counter() - start
+    assert record["engine"]["receivers_cohort"] == 10_000 - 2
+    # Far under the exact engine's ~5-10 s for a mere 200 receivers.
+    assert wall < 5.0
+
+
+# -------------------------------------------------------- sweep determinism
+
+
+def test_cohort_sweep_serial_parallel_byte_identical(tmp_path):
+    def run_records(jobs):
+        runner = SweepRunner(
+            "scaling",
+            grid={"num_receivers": [400, 800]},
+            params={"engine.kind": "cohort", "duration": 30.0},
+            replications=1,
+            base_seed=7,
+            jobs=jobs,
+        )
+        return [encode_record(r) for r in runner.execute()]
+
+    serial = run_records(jobs=1)
+    parallel = run_records(jobs=2)
+    assert serial == parallel
+    assert len(serial) == 2
+    for encoded in serial:
+        assert '"engine":"cohort"' in encoded
+
+
+def test_run_record_stamps_engine_kind():
+    from repro.scenarios.sweep import SweepRun, execute_run
+
+    spec = get_scenario("scaling").spec(num_receivers=4, duration=15.0)
+    record = execute_run(SweepRun(index=0, seed=1, params={}, spec_dict=spec.to_dict()))
+    assert record["run"]["engine"] == "exact"

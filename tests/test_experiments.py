@@ -185,6 +185,23 @@ def test_duration_floor_warns_when_it_binds():
         assert scale.duration(2000.0) == 20.0
 
 
+def test_duration_floor_warning_dedupes_repeated_clamps():
+    """A sweep re-deriving the same spec must not repeat the clamp warning."""
+    from repro.experiments import reset_duration_warnings
+
+    reset_duration_warnings()
+    scale = ExperimentScale(name="dedupe", time_factor=0.01)
+    with pytest.warns(RuntimeWarning, match="below") as caught:
+        for _ in range(50):  # 50 replications of the same clamped duration
+            assert scale.duration(100.0) == 10.0
+    assert len(caught) == 1
+    # A *different* clamp is new information and warns again.
+    with pytest.warns(RuntimeWarning, match="below") as caught:
+        assert scale.duration(200.0) == 10.0
+    assert len(caught) == 1
+    reset_duration_warnings()
+
+
 def test_duration_floor_is_configurable():
     import warnings
 
