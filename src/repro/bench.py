@@ -22,6 +22,12 @@ Workloads
     Macro: the receiver-count scaling step with 200 TFMCC receivers behind
     one bottleneck (the Figure 7/17 regime).  Dominated by multicast fan-out
     and per-receiver protocol work; also measures topology build time.
+``sweep_resume``
+    Orchestration: a cold sweep through the ``SweepRunner`` (streaming
+    store + manifest + result-cache inserts) followed by a warm re-run of
+    the identical grid against the now-populated cache, which must perform
+    zero simulations.  The ``warm_speedup`` extra is the cold/warm wall
+    ratio — the headline number of the fingerprint cache.
 
 The headline ``events_per_sec`` divides simulator events by the *total*
 workload wall time (topology build + run), which is what a sweep actually
@@ -159,11 +165,66 @@ def _bench_scaling_10k_cohort(quick: bool) -> Dict[str, Any]:
     )
 
 
+def _bench_sweep_resume(quick: bool) -> Dict[str, Any]:
+    """Cold sweep vs warm cached re-run of the identical grid.
+
+    Exercises the whole orchestration path: streaming per-record store
+    appends, manifest checkpointing, fingerprint computation and cache
+    insert on the cold pass; cache hits and record reconstruction on the
+    warm pass.  The warm pass must not simulate at all.
+    """
+    import tempfile
+
+    from repro.scenarios.cache import ResultCache
+    from repro.scenarios.store import ResultStore
+    from repro.scenarios.sweep import SweepRunner
+
+    duration = 4.0 if quick else 12.0
+    replications = 3 if quick else 4
+
+    def one_pass(tmp: str, cache: ResultCache, store_name: str):
+        runner = SweepRunner(
+            "fairness",
+            params={"duration": duration, "num_tcp": 2},
+            replications=replications,
+            base_seed=1,
+        )
+        start = time.perf_counter()
+        records = runner.execute(
+            store=ResultStore(os.path.join(tmp, store_name)), cache=cache
+        )
+        return time.perf_counter() - start, records, runner.stats
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(os.path.join(tmp, "cache.jsonl"))
+        cold_s, records, _cold = one_pass(tmp, cache, "cold.jsonl")
+        warm_s, _records, warm = one_pass(tmp, cache, "warm.jsonl")
+    assert warm.executed == 0, "warm cached re-run must perform zero simulations"
+    return {
+        "events": sum(r["events"] for r in records),
+        "build_s": 0.0,
+        "run_s": cold_s + warm_s,
+        "seed": 1,
+        "params": {
+            "scenario": "fairness",
+            "duration": duration,
+            "replications": replications,
+        },
+        "extras": {
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "warm_speedup": round(cold_s / warm_s, 1) if warm_s > 0 else 0.0,
+            "cached_runs": warm.cached,
+        },
+    }
+
+
 WORKLOADS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "engine_churn": _bench_engine_churn,
     "dumbbell_fairness": _bench_dumbbell_fairness,
     "scaling_200": _bench_scaling_200,
     "scaling_10k_cohort": _bench_scaling_10k_cohort,
+    "sweep_resume": _bench_sweep_resume,
 }
 
 
@@ -192,7 +253,7 @@ def run_workload(name: str, quick: bool = False) -> Dict[str, Any]:
             raw = candidate
     wall = raw["build_s"] + raw["run_s"]
     events = raw["events"]
-    return {
+    result = {
         "name": name,
         "mode": "quick" if quick else "full",
         "seed": raw["seed"],
@@ -207,6 +268,11 @@ def run_workload(name: str, quick: bool = False) -> Dict[str, Any]:
         "python": platform.python_version(),
         "platform": sys.platform,
     }
+    # Workload-specific metrics (e.g. sweep_resume's warm_speedup) ride
+    # along in the JSON without affecting the regression comparison.
+    if "extras" in raw:
+        result["extras"] = raw["extras"]
+    return result
 
 
 def result_path(out_dir: str, name: str) -> str:

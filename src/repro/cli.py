@@ -25,6 +25,15 @@ keys sweep override paths (protocol parameters, topology fields)::
     python -m repro sweep fairness --jobs 4 --grid num_tcp=2,4,8 --reps 4
     python -m repro sweep scaling --grid flows.0.params.max_rtt=0.25,0.5,1.0
 
+Sweeps are resumable (an interrupted sweep continues where it left off when
+re-run — a completed one is a no-op), shardable across hosts, and can share
+a spec-fingerprint result cache with ``run`` and ``report``::
+
+    python -m repro sweep fairness --reps 64 --out r/fair.jsonl   # Ctrl-C, then re-run
+    python -m repro sweep scaling --shard 0/4 --out r/shard0.jsonl
+    python -m repro sweep --compact r/shard0.jsonl r/shard1.jsonl --out r/merged.jsonl
+    python -m repro sweep fairness --cache results/cache.jsonl
+
 Build the paper-figure datasets/plots and verify them against the models::
 
     python -m repro report --quick --check
@@ -46,10 +55,11 @@ from repro.bench import DEFAULT_OUT_DIR as BENCH_OUT_DIR, DEFAULT_THRESHOLD as B
 # scipy/matplotlib-needing dependencies) is imported lazily in cmd_report so
 # the rest of the CLI keeps its stdlib-only footprint.
 REPORT_OUT_DIR = os.path.join("results", "figures")
+from repro.scenarios.cache import ResultCache, fingerprint_spec
 from repro.scenarios.registry import get_scenario, scenarios
 from repro.scenarios.build import run_scenario
 from repro.scenarios.store import ResultStore, encode_record
-from repro.scenarios.sweep import SweepRunner
+from repro.scenarios.sweep import SweepRunner, compact_stores, manifest_path
 
 
 def _parse_value(text: str) -> Any:
@@ -201,8 +211,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     spec = factory.spec(**params)
     if overrides:
         spec = spec.with_overrides(**overrides)
+    fingerprint = fingerprint_spec(spec, args.seed)
+    cache = ResultCache(args.cache) if args.cache else None
     started = time.perf_counter()
-    record = run_scenario(spec, seed=args.seed)
+    record = cache.get(fingerprint) if cache is not None else None
+    if record is not None:
+        print(f"cache hit {fingerprint} in {args.cache}", file=sys.stderr)
+    else:
+        record = run_scenario(spec, seed=args.seed)
+        if cache is not None:
+            cache.put(fingerprint, record)
     elapsed = time.perf_counter() - started
     record["run"] = {
         "index": 0,
@@ -210,6 +228,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         "params": {**params, **overrides},
         "scenario": args.scenario,
         "engine": spec.engine.kind,
+        "fingerprint": fingerprint,
     }
     if args.out:
         ResultStore(args.out).append(record)
@@ -222,7 +241,32 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_shard(text: Optional[str]) -> Optional[tuple]:
+    """Parse ``--shard I/N`` into a (i, n) tuple."""
+    if text is None:
+        return None
+    index, sep, count = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        return (int(index), int(count))
+    except ValueError:
+        raise SystemExit(f"error: --shard expects I/N (e.g. 0/4), got {text!r}") from None
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
+    if args.compact:
+        if not args.out:
+            raise SystemExit("error: --compact requires --out for the merged store")
+        count = compact_stores(args.out, args.compact)
+        print(
+            f"compacted {len(args.compact)} shard store(s) into {args.out} "
+            f"({count} records, sorted by run index, duplicates dropped)",
+            file=sys.stderr,
+        )
+        return 0
+    if not args.scenario:
+        raise SystemExit("error: a scenario name is required (unless using --compact)")
     grid = _parse_grid(args.grid)
     # Fixed dotted overrides ride in params; SweepRun.resolve_spec applies
     # them (and dotted grid axes) via ScenarioSpec.with_overrides.
@@ -236,12 +280,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         replications=args.reps,
         base_seed=args.seed,
         jobs=args.jobs,
+        shard=_parse_shard(args.shard),
+        max_retries=args.retries,
     )
-    runs = runner.runs()
+    runs = runner.shard_runs()
     out = args.out or f"results/{args.scenario}-sweep.jsonl"
+    if args.fresh:
+        for path in (out, manifest_path(out)):
+            if os.path.exists(path):
+                os.remove(path)
+    cache = ResultCache(args.cache) if args.cache else None
+    shard_note = f", shard {args.shard}" if args.shard else ""
     print(
         f"sweep {args.scenario!r}: {len(runs)} runs "
-        f"({len(grid) or 'no'} grid axes x {args.reps} replications), "
+        f"({len(grid) or 'no'} grid axes x {args.reps} replications{shard_note}), "
         f"jobs={args.jobs}, out={out}",
         file=sys.stderr,
     )
@@ -249,22 +301,41 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     def progress(done: int, total: int, record: Dict[str, Any]) -> None:
         if not args.quiet:
+            stats = runner.stats
             elapsed = time.perf_counter() - started
+            fresh = done - stats.resumed
+            eta = elapsed / fresh * (total - done) if fresh > 0 else 0.0
+            rate = record.get("tfmcc_mean_bps")
+            label = (
+                f"tfmcc={rate / 1e3:.1f} kbit/s"
+                if rate is not None
+                else f"FAILED ({record.get('error', 'unknown')})"
+            )
             print(
                 f"  [{done}/{total}] seed={record['run']['seed']} "
-                f"params={record['run']['params']} "
-                f"tfmcc={record['tfmcc_mean_bps'] / 1e3:.1f} kbit/s "
-                f"({elapsed:.1f}s)",
+                f"params={record['run']['params']} {label} "
+                f"({elapsed:.1f}s, eta {eta:.0f}s, "
+                f"cache {stats.cached} hit / {stats.executed} miss, "
+                f"{stats.retried} retried)",
                 file=sys.stderr,
             )
 
-    records = runner.execute(store=ResultStore(out), progress=progress)
-    elapsed = time.perf_counter() - started
-    print(
-        f"completed {len(records)} runs in {elapsed:.1f} s "
-        f"({elapsed / max(len(records), 1):.1f} s/run), results in {out}",
-        file=sys.stderr,
+    runner.execute(
+        store=ResultStore(out),
+        progress=progress,
+        cache=cache,
+        stop_after=args.stop_after,
+        collect=False,
     )
+    stats = runner.stats
+    if args.stop_after is not None and stats.completed < stats.total:
+        print(
+            f"stopped after {args.stop_after} new run(s): {stats.summary()} — "
+            "re-run the same command to resume",
+            file=sys.stderr,
+        )
+    else:
+        print(f"completed {stats.summary()}, results in {out}", file=sys.stderr)
     return 0
 
 
@@ -295,6 +366,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         reuse=args.reuse,
         plots=not args.no_plots,
+        cache=args.cache,
     )
     print(summarise(reports))
     if failures:
@@ -374,10 +446,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--engine", default=None, help=engine_help)
     p_run.add_argument("--out", help="append the result record to this JSONL file")
     p_run.add_argument("--json", action="store_true", help="print the raw record as JSON")
+    p_run.add_argument(
+        "--cache",
+        metavar="PATH",
+        help="spec-fingerprint result cache (JSONL): reuse a cached record "
+        "instead of simulating, insert fresh results",
+    )
     p_run.set_defaults(func=cmd_run)
 
-    p_sweep = sub.add_parser("sweep", help="run a seeded parameter sweep")
-    p_sweep.add_argument("scenario")
+    p_sweep = sub.add_parser(
+        "sweep", help="run a seeded parameter sweep (resumable, shardable, cached)"
+    )
+    p_sweep.add_argument(
+        "scenario",
+        nargs="?",
+        help="registered scenario name (omit only with --compact)",
+    )
     p_sweep.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
     p_sweep.add_argument(
         "--reps", type=int, default=8, help="seeded replications per grid point (default 8)"
@@ -400,6 +484,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--engine", default=None, help=engine_help)
     p_sweep.add_argument("--out", help="JSONL output path (default results/<scenario>-sweep.jsonl)")
     p_sweep.add_argument("--quiet", action="store_true", help="suppress per-run progress")
+    p_sweep.add_argument(
+        "--shard",
+        metavar="I/N",
+        help="execute only runs with index %% N == I (multi-host fan-out; "
+        "merge the shard stores afterwards with --compact)",
+    )
+    p_sweep.add_argument(
+        "--cache",
+        metavar="PATH",
+        help="spec-fingerprint result cache (JSONL): cached runs skip "
+        "simulation, fresh results are inserted for later invocations",
+    )
+    p_sweep.add_argument(
+        "--fresh",
+        action="store_true",
+        help="remove an existing store and manifest instead of resuming them",
+    )
+    p_sweep.add_argument(
+        "--stop-after",
+        type=int,
+        metavar="N",
+        help="commit at most N new runs, then stop (re-run to resume)",
+    )
+    p_sweep.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="K",
+        help="retries per failed run before recording a failure entry (default 2)",
+    )
+    p_sweep.add_argument(
+        "--compact",
+        nargs="+",
+        metavar="SHARD",
+        help="merge the given shard JSONL stores into --out (sorted by run "
+        "index, deduplicated) instead of running a sweep",
+    )
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_report = sub.add_parser(
@@ -433,6 +554,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument(
         "--no-plots", action="store_true", help="write datasets only, skip PNG rendering"
+    )
+    p_report.add_argument(
+        "--cache",
+        metavar="PATH",
+        help="spec-fingerprint result cache (JSONL) shared with run/sweep: "
+        "figure runs already cached skip simulation",
     )
     p_report.set_defaults(func=cmd_report)
 

@@ -31,18 +31,29 @@ from dataclasses import asdict, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.report.figures import FIGURES, FigureData, FigureDef, RunRequest, figure_names
+from repro.scenarios.cache import ResultCache, canonical_json, fingerprint
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.store import ResultStore
-from repro.scenarios.sweep import SweepRun, execute_run
+from repro.scenarios.sweep import SweepRun, execute_run, stamp_record
 
 DEFAULT_OUT_DIR = os.path.join("results", "figures")
 
 _META_KEY = "_report_meta"
 
 
-def _fingerprint(requests: Sequence[RunRequest]) -> str:
-    """Stable hash of the exact run list, for safe dataset reuse."""
-    payload = json.dumps([list(map(str, r.key())) for r in requests], sort_keys=True)
+def _run_fingerprints(runs: Sequence[SweepRun]) -> List[str]:
+    """Per-run spec fingerprints (runs are pre-resolved, spec_dict is set)."""
+    return [fingerprint(run.spec_dict, run.seed) for run in runs]
+
+
+def _fingerprint(runs: Sequence[SweepRun]) -> str:
+    """Stable hash of the exact run list, for safe dataset reuse.
+
+    Built from the per-run spec fingerprints shared with the sweep/cache
+    layer, so any change to a resolved spec — not just to the request
+    parameters — invalidates a stale dataset.
+    """
+    payload = canonical_json(_run_fingerprints(runs))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
@@ -63,23 +74,44 @@ def _to_sweep_run(request: RunRequest, index: int) -> SweepRun:
 
 
 def _execute_requests(
-    requests: Sequence[RunRequest],
+    runs: Sequence[SweepRun],
     jobs: int,
     progress=None,
+    cache: Optional[ResultCache] = None,
 ) -> List[Dict[str, Any]]:
-    runs = [_to_sweep_run(request, i) for i, request in enumerate(requests)]
-    records: List[Dict[str, Any]] = []
-    if jobs <= 1 or len(runs) <= 1:
-        for run in runs:
-            records.append(execute_run(run))
-            if progress is not None:
-                progress(len(records), len(runs))
+    """Execute resolved runs, consulting the shared result cache first."""
+    records: List[Dict[str, Any]] = [None] * len(runs)  # type: ignore[list-item]
+    to_run: List[SweepRun] = []
+    if cache is not None:
+        for run, fp in zip(runs, _run_fingerprints(runs)):
+            pure = cache.get(fp)
+            if pure is not None:
+                records[run.index] = stamp_record(pure, run, run.resolve_spec(), fp)
+            else:
+                to_run.append(run)
+    else:
+        to_run = list(runs)
+
+    done = len(runs) - len(to_run)
+
+    def _commit(record: Dict[str, Any]) -> None:
+        nonlocal done
+        records[record["run"]["index"]] = record
+        if cache is not None:
+            fp = record["run"].get("fingerprint")
+            if fp is not None:
+                cache.put(fp, record)
+        done += 1
+        if progress is not None:
+            progress(done, len(runs))
+
+    if jobs <= 1 or len(to_run) <= 1:
+        for run in to_run:
+            _commit(execute_run(run))
     else:
         with multiprocessing.Pool(processes=jobs) as pool:
-            for record in pool.imap(execute_run, runs, chunksize=1):
-                records.append(record)
-                if progress is not None:
-                    progress(len(records), len(runs))
+            for record in pool.imap(execute_run, to_run, chunksize=1):
+                _commit(record)
     return records
 
 
@@ -162,12 +194,16 @@ def run_report(
     reuse: bool = False,
     plots: bool = True,
     log=None,
+    cache: Optional[str] = None,
 ) -> Tuple[List[FigureReport], List[str]]:
     """Build the requested figures (default: all); returns (reports, failures).
 
     ``failures`` holds one human-readable line per failed check when
     ``check`` is set (always empty otherwise, so callers can use it as the
-    exit-status signal).
+    exit-status signal).  ``cache`` names a shared
+    :class:`~repro.scenarios.cache.ResultCache` JSONL file: figure runs
+    whose spec fingerprint is already cached (by an earlier report, a
+    sweep or a bench) skip simulation, and fresh runs are inserted.
     """
     log = log if log is not None else (lambda msg: print(msg, file=sys.stderr))
     names = list(figures) if figures else figure_names()
@@ -180,28 +216,40 @@ def run_report(
     data_dir = os.path.join(out_dir, "data")
     os.makedirs(data_dir, exist_ok=True)
 
+    result_cache = ResultCache(cache) if cache is not None else None
     reports: List[FigureReport] = []
     failures: List[str] = []
     for name in names:
         figure = FIGURES[name]
         requests = figure.requests(quick)
-        fingerprint = _fingerprint(requests)
+        runs = [_to_sweep_run(request, i) for i, request in enumerate(requests)]
+        dataset_fp = _fingerprint(runs)
         records_path = os.path.join(data_dir, f"{name}.jsonl")
         records = (
-            _load_reusable(records_path, fingerprint, len(requests)) if reuse else None
+            _load_reusable(records_path, dataset_fp, len(runs)) if reuse else None
         )
         if records is not None:
             log(f"[{name}] reusing {len(records)} records from {records_path}")
         else:
             started = time.perf_counter()
-            log(f"[{name}] running {len(requests)} simulations (jobs={jobs})...")
+            log(f"[{name}] running {len(runs)} simulations (jobs={jobs})...")
+            hits_before = result_cache.hits if result_cache is not None else 0
             records = _execute_requests(
-                requests,
+                runs,
                 jobs,
                 progress=lambda done, total: log(f"[{name}]   {done}/{total} done"),
+                cache=result_cache,
             )
-            _write_records(records_path, fingerprint, records)
-            log(f"[{name}] simulated in {time.perf_counter() - started:.1f} s")
+            _write_records(records_path, dataset_fp, records)
+            elapsed = time.perf_counter() - started
+            if result_cache is not None:
+                hits = result_cache.hits - hits_before
+                log(
+                    f"[{name}] simulated {len(runs) - hits} runs "
+                    f"({hits} cache hits) in {elapsed:.1f} s"
+                )
+            else:
+                log(f"[{name}] simulated in {elapsed:.1f} s")
 
         data = figure.build(records, quick)
         report = FigureReport(figure, data, quick)

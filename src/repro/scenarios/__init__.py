@@ -41,8 +41,25 @@ from repro.scenarios.spec import (
     TfmccFlowSpec,
     TopologySpec,
 )
+from repro.scenarios.cache import (
+    ResultCache,
+    canonical_json,
+    fingerprint,
+    fingerprint_spec,
+    pure_record,
+)
 from repro.scenarios.store import ResultStore, encode_record
-from repro.scenarios.sweep import SweepRun, SweepRunner, execute_run, expand_grid, sweep
+from repro.scenarios.sweep import (
+    SweepManifest,
+    SweepRun,
+    SweepRunner,
+    SweepStats,
+    compact_stores,
+    execute_run,
+    expand_grid,
+    manifest_path,
+    sweep,
+)
 
 __all__ = [
     "BackgroundFlowSpec",
@@ -60,21 +77,30 @@ __all__ = [
     "MetricsSpec",
     "NetworkEventSpec",
     "ReceiverSpec",
+    "ResultCache",
     "ResultStore",
     "ScenarioFactory",
     "ScenarioSpec",
     "StarSpec",
+    "SweepManifest",
     "SweepRun",
     "SweepRunner",
+    "SweepStats",
     "TcpFlowSpec",
     "TfmccFlowSpec",
     "TopologySpec",
     "build_network",
     "build_scenario",
+    "canonical_json",
+    "compact_stores",
     "encode_record",
     "execute_run",
     "expand_grid",
+    "fingerprint",
+    "fingerprint_spec",
     "get_scenario",
+    "manifest_path",
+    "pure_record",
     "register",
     "run_scenario",
     "scenario_names",

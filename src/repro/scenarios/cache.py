@@ -1,0 +1,136 @@
+"""Spec-fingerprint result cache shared by run, sweep, report and bench.
+
+A simulation record is a pure function of ``(spec, seed)``: the scenario
+spec is rebuilt from its canonical dict form inside every worker and the
+simulator owns a seeded RNG, so two executions of the same pair produce
+byte-identical records.  :func:`fingerprint` reduces the pair to a short
+stable hash.  It is stamped into every record's ``run`` provenance block
+(``record["run"]["fingerprint"]``) and doubles as the key of
+:class:`ResultCache`, a JSONL-backed index mapping fingerprints to *pure*
+records — the record exactly as ``run_scenario`` produced it, before any
+run-specific provenance (index, grid params, scenario name) is attached.
+
+Because the cached payload carries no provenance, a record computed by a
+sweep can be reused by a report figure, a bench workload or a one-off
+``repro run`` (and vice versa) as long as spec and seed match: the caller
+re-stamps its own ``run`` block, so the reconstructed record is
+byte-identical to what a fresh simulation would have written.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import os
+from typing import Any, Dict, Mapping, Optional
+
+#: Hex digits kept from the sha256 digest; 64 bits of collision resistance
+#: is ample for result-cache sizes while keeping records and manifests short.
+FINGERPRINT_LEN = 16
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical JSON encoding used for all fingerprint payloads.
+
+    Sorted keys and tight separators make the encoding independent of dict
+    insertion order; non-JSON values fall back to ``str`` so grid values
+    such as tuples never make a fingerprint raise.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def fingerprint(spec_dict: Mapping[str, Any], seed: int) -> str:
+    """Stable hash of one simulation: canonical spec dict plus seed."""
+    payload = canonical_json({"seed": seed, "spec": spec_dict})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:FINGERPRINT_LEN]
+
+
+def fingerprint_spec(spec: Any, seed: int) -> str:
+    """:func:`fingerprint` for a live :class:`ScenarioSpec` instance."""
+    return fingerprint(spec.to_dict(), seed)
+
+
+def pure_record(record: Mapping[str, Any]) -> Dict[str, Any]:
+    """The cacheable part of a record: everything except ``run`` provenance."""
+    return {k: v for k, v in record.items() if k != "run"}
+
+
+class ResultCache:
+    """Append-only JSONL index of pure records keyed by spec fingerprint.
+
+    Each line is ``{"fingerprint": <hash>, "record": <pure record>}``.  The
+    file is loaded lazily into an in-memory index on first access; ``put``
+    appends to both.  Lookups and insertions count into :attr:`hits` and
+    :attr:`misses` so callers can report cache effectiveness.
+
+    The cache is safe to share across sequential invocations (warm re-runs)
+    and across the run/sweep/report/bench entry points; concurrent *writer*
+    processes should use distinct cache files and merge them, like sweep
+    shards do.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._index: Optional[Dict[str, Dict[str, Any]]] = None
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------- loading
+
+    def _load(self) -> Dict[str, Dict[str, Any]]:
+        if self._index is None:
+            index: Dict[str, Dict[str, Any]] = {}
+            if os.path.exists(self.path):
+                with open(self.path, "r", encoding="utf-8") as fh:
+                    for line in fh:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            entry = json.loads(line)
+                        except json.JSONDecodeError:
+                            continue  # truncated trailing write; skip
+                        if isinstance(entry, dict) and "fingerprint" in entry:
+                            index[entry["fingerprint"]] = entry["record"]
+            self._index = index
+        return self._index
+
+    # -------------------------------------------------------------- access
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The pure record cached under ``key``, or None.
+
+        Returns a deep copy: callers stamp their own ``run`` provenance into
+        the result, which must not leak back into the index.
+        """
+        record = self._load().get(key)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return copy.deepcopy(record)
+
+    def put(self, key: str, record: Mapping[str, Any]) -> bool:
+        """Cache ``record`` (provenance stripped) under ``key``.
+
+        Returns True when the entry was new; an existing key is left
+        untouched (first write wins — records are pure, so any duplicate
+        would be identical anyway).
+        """
+        index = self._load()
+        if key in index:
+            return False
+        entry = pure_record(record)
+        index[key] = copy.deepcopy(entry)
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(canonical_json({"fingerprint": key, "record": entry}) + "\n")
+        return True
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._load()
+
+    def __len__(self) -> int:
+        return len(self._load())

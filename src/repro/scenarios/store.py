@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 import os
 import warnings
+from contextlib import contextmanager
 from typing import Any, Dict, Iterable, Iterator, List, Sequence
 
 
@@ -39,6 +40,82 @@ class ResultStore:
                 fh.write(encode_record(record) + "\n")
                 count += 1
         return count
+
+    @contextmanager
+    def appender(self):
+        """Context manager for streaming appends with one open file handle.
+
+        ``store.append`` reopens the file per call, which is fine for a
+        handful of records but O(total) syscalls for a large sweep.  The
+        appender keeps the file open and flushes after every record, so a
+        crash loses at most the line being written::
+
+            with store.appender() as write:
+                for record in records:
+                    write(record)
+        """
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+
+            def write(record: Dict[str, Any]) -> None:
+                fh.write(encode_record(record) + "\n")
+                fh.flush()
+
+            yield write
+
+    def rewrite(self, records: Iterable[Dict[str, Any]]) -> int:
+        """Atomically replace the store's contents with ``records``.
+
+        The records are written to a sibling temp file which is then
+        renamed over the store, so readers never observe a half-written
+        file.  Returns the number of records written.
+        """
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        tmp = self.path + ".tmp"
+        count = 0
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(encode_record(record) + "\n")
+                count += 1
+        os.replace(tmp, self.path)
+        return count
+
+    def scan_valid(self) -> "tuple[List[Dict[str, Any]], int]":
+        """Parse the longest valid prefix of the store.
+
+        Returns ``(records, clean_end)`` where ``clean_end`` is the byte
+        offset just past the last fully-written valid JSONL line.  A sweep
+        worker killed mid-write leaves a truncated (or garbage) tail;
+        truncating the file to ``clean_end`` repairs it without touching
+        any completed record.
+        """
+        records: List[Dict[str, Any]] = []
+        clean_end = 0
+        if not os.path.exists(self.path):
+            return records, clean_end
+        offset = 0
+        with open(self.path, "rb") as fh:
+            for raw in fh:
+                offset += len(raw)
+                if not raw.endswith(b"\n"):
+                    break  # truncated final line
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    clean_end = offset
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    break  # corrupt line: everything from here is suspect
+                clean_end = offset
+        return records, clean_end
+
+    def truncate(self, offset: int) -> None:
+        """Truncate the store file to ``offset`` bytes (crash repair)."""
+        with open(self.path, "rb+") as fh:
+            fh.truncate(offset)
 
     def iter_records(self, strict: bool = False) -> Iterator[Dict[str, Any]]:
         """Iterate over records in file order.

@@ -1,15 +1,37 @@
-"""Parameter-grid sweep runner with multiprocessing fan-out.
+"""Parameter-grid sweep runner: resumable, sharded, cached, fault-tolerant.
 
 A sweep expands a parameter grid (cartesian product) times ``replications``
 seeded repetitions into an ordered list of runs, executes them either
-serially or across a pool of worker processes, and appends one JSON record
-per run to a :class:`~repro.scenarios.store.ResultStore`.
+serially or across a pool of worker processes, and streams one JSON record
+per run to a :class:`~repro.scenarios.store.ResultStore` as it completes.
 
 Determinism contract: each run is the pure function
 ``run_scenario(spec, seed)`` — the spec is rebuilt from its dict form inside
 the worker, every simulation owns its own seeded RNG, and results are
-collected in run order — so a sweep writes byte-identical JSONL no matter
-how many workers execute it.
+committed in run order — so a sweep writes byte-identical JSONL no matter
+how many workers execute it, whether it was interrupted and resumed, or
+whether its shards ran on different hosts and were compacted afterwards.
+
+Orchestration features on top of the plain grid runner:
+
+* **Fingerprints** — every record's ``run`` block carries
+  ``fingerprint(spec_dict, seed)`` (see :mod:`repro.scenarios.cache`),
+  the stable identity used for caching, resume validation and compaction.
+* **Resume** — when a store is given, a JSON manifest next to the JSONL
+  file records the sweep fingerprint and the completed run indices.  An
+  interrupted sweep re-run with the same arguments validates the store
+  (repairing a truncated trailing line), skips everything already done and
+  continues exactly where it left off; a completed sweep is a no-op.
+* **Result cache** — with a :class:`~repro.scenarios.cache.ResultCache`,
+  runs whose fingerprint is already cached are reconstructed without
+  simulating, and fresh results are inserted for future invocations.
+* **Shards** — ``shard=(i, n)`` executes only runs with ``index % n == i``
+  (each shard gets its own store/manifest); :func:`compact_stores` merges
+  shard files back into one sorted, deduplicated store.
+* **Fault tolerance** — a run that raises is retried (bounded by
+  ``max_retries``) and finally recorded as a failure entry instead of
+  aborting the sweep; a worker process that dies (OOM kill, segfault)
+  breaks only its pool, which is rebuilt and the in-flight runs resubmitted.
 
 Seeds are derived as ``base_seed + run_index`` with the run index enumerating
 (grid point, replication) pairs in grid order; two sweeps over the same grid
@@ -18,14 +40,32 @@ with the same base seed therefore run the same simulations.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
-import multiprocessing
+import json
+import os
 import sys
 import time
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.scenarios.build import run_scenario
+from repro.scenarios.cache import ResultCache, canonical_json, fingerprint_spec
 from repro.scenarios.registry import get_scenario
 from repro.scenarios.spec import ScenarioSpec
 from repro.scenarios.store import ResultStore
@@ -100,18 +140,198 @@ def _resolve_spec_cached(run: "SweepRun") -> ScenarioSpec:
         return run.resolve_spec()
 
 
-def execute_run(run: SweepRun) -> Dict[str, Any]:
-    """Worker entry point: execute one run and annotate its provenance."""
-    spec = _resolve_spec_cached(run)
-    record = run_scenario(spec, seed=run.seed)
+def stamp_record(
+    record: Dict[str, Any],
+    run: SweepRun,
+    spec: ScenarioSpec,
+    fingerprint: Optional[str],
+) -> Dict[str, Any]:
+    """Attach the ``run`` provenance block to a pure simulation record.
+
+    The block is a deterministic function of the run position and the spec,
+    so a record reconstructed from the result cache is byte-identical to a
+    freshly simulated one.
+    """
     record["run"] = {
         "index": run.index,
         "seed": run.seed,
         "params": run.params,
         "scenario": run.scenario if run.scenario is not None else spec.name,
         "engine": spec.engine.kind,
+        "fingerprint": fingerprint,
     }
     return record
+
+
+def run_fingerprint(run: SweepRun) -> str:
+    """The spec fingerprint of one run (resolves the spec if needed)."""
+    return fingerprint_spec(_resolve_spec_cached(run), run.seed)
+
+
+def execute_run(run: SweepRun) -> Dict[str, Any]:
+    """Worker entry point: execute one run and annotate its provenance."""
+    spec = _resolve_spec_cached(run)
+    fingerprint = fingerprint_spec(spec, run.seed)
+    record = run_scenario(spec, seed=run.seed)
+    return stamp_record(record, run, spec, fingerprint)
+
+
+def _pool_execute(run: SweepRun) -> Tuple[int, Optional[Dict[str, Any]], Optional[str]]:
+    """Pool worker wrapper: never raise, forward failures to the parent.
+
+    An exception that escaped into the pool machinery would poison the
+    whole ``imap`` stream; returning ``(index, None, error)`` instead lets
+    the parent retry the one failed run and keep the sweep going.
+    """
+    try:
+        return (run.index, execute_run(run), None)
+    except Exception as exc:
+        return (run.index, None, f"{type(exc).__name__}: {exc}")
+
+
+def _failure_record(run: SweepRun, error: str, retries: int) -> Dict[str, Any]:
+    """Terminal failure entry written in place of a run's result."""
+    try:
+        fingerprint: Optional[str] = run_fingerprint(run)
+    except Exception:  # the failure may be in spec resolution itself
+        fingerprint = None
+    return {
+        "failed": True,
+        "error": error,
+        "scenario": run.scenario,
+        "seed": run.seed,
+        "run": {
+            "index": run.index,
+            "seed": run.seed,
+            "params": run.params,
+            "scenario": run.scenario,
+            "engine": None,
+            "fingerprint": fingerprint,
+            "retries": retries,
+        },
+    }
+
+
+# ------------------------------------------------------------------ manifest
+
+
+def manifest_path(store_path: str) -> str:
+    """Manifest location for a store: ``X.jsonl`` -> ``X.manifest.json``."""
+    base, ext = os.path.splitext(store_path)
+    if ext != ".jsonl":
+        base = store_path
+    return base + ".manifest.json"
+
+
+def _compress_indices(indices: Iterable[int]) -> List[List[int]]:
+    """Sorted indices -> inclusive ``[start, end]`` ranges (compact JSON)."""
+    ranges: List[List[int]] = []
+    for index in sorted(indices):
+        if ranges and index == ranges[-1][1] + 1:
+            ranges[-1][1] = index
+        elif not ranges or index > ranges[-1][1]:
+            ranges.append([index, index])
+    return ranges
+
+
+def _expand_indices(ranges: Iterable[Sequence[int]]) -> Set[int]:
+    out: Set[int] = set()
+    for start, end in ranges:
+        out.update(range(start, end + 1))
+    return out
+
+
+@dataclass
+class SweepManifest:
+    """Checkpoint file recording a sweep's identity and completed runs.
+
+    Lives next to the JSONL store (:func:`manifest_path`).  The store
+    itself is the source of truth on resume — the manifest's job is to
+    guard against resuming a *different* sweep into the same store (via
+    ``sweep_fingerprint``) and to make progress observable without
+    scanning millions of JSONL lines.
+    """
+
+    path: str
+    sweep_fingerprint: str
+    total: int
+    sweep_total: int
+    shard: Optional[Tuple[int, int]] = None
+    completed: Set[int] = field(default_factory=set)
+    failed: Dict[int, str] = field(default_factory=dict)
+
+    VERSION = 1
+
+    @classmethod
+    def load(cls, path: str) -> Optional["SweepManifest"]:
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        shard = data.get("shard")
+        return cls(
+            path=path,
+            sweep_fingerprint=data.get("sweep_fingerprint", ""),
+            total=data.get("total", 0),
+            sweep_total=data.get("sweep_total", data.get("total", 0)),
+            shard=tuple(shard) if shard else None,
+            completed=_expand_indices(data.get("completed", [])),
+            failed={int(k): v for k, v in data.get("failed", {}).items()},
+        )
+
+    def save(self) -> None:
+        payload = {
+            "version": self.VERSION,
+            "sweep_fingerprint": self.sweep_fingerprint,
+            "total": self.total,
+            "sweep_total": self.sweep_total,
+            "shard": list(self.shard) if self.shard else None,
+            "completed": _compress_indices(self.completed),
+            "failed": {str(k): v for k, v in sorted(self.failed.items())},
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self.path)
+
+    @property
+    def done(self) -> bool:
+        return len(self.completed) >= self.total
+
+
+# --------------------------------------------------------------------- stats
+
+
+@dataclass
+class SweepStats:
+    """Counters of one ``SweepRunner.execute`` invocation."""
+
+    total: int = 0  # runs this invocation is responsible for (its shard)
+    resumed: int = 0  # already complete in the store before we started
+    cached: int = 0  # reconstructed from the result cache
+    executed: int = 0  # actually simulated
+    retried: int = 0  # retry attempts (exceptions and pool rebuilds)
+    failed: int = 0  # runs terminally recorded as failure entries
+    wall_s: float = 0.0
+
+    @property
+    def completed(self) -> int:
+        return self.resumed + self.cached + self.executed + self.failed
+
+    def summary(self) -> str:
+        rate = (self.cached + self.executed) / self.wall_s if self.wall_s > 0 else 0.0
+        return (
+            f"{self.completed}/{self.total} runs in {self.wall_s:.1f} s "
+            f"({self.executed} simulated, {self.cached} cached, "
+            f"{self.resumed} resumed, {self.retried} retried, "
+            f"{self.failed} failed, {rate:.1f} runs/s)"
+        )
 
 
 class SweepRunner:
@@ -137,6 +357,13 @@ class SweepRunner:
         Seed of run 0; run *i* uses ``base_seed + i``.
     jobs:
         Worker processes; 1 runs inline (no pool).
+    shard:
+        Optional ``(i, n)`` partition: execute only runs with
+        ``index % n == i``.  Seeds and indices stay global, so the union of
+        all shards' stores compacts to exactly the unsharded sweep.
+    max_retries:
+        Bounded retries per failed run (raised exception or killed worker)
+        before a failure entry is recorded instead.
     """
 
     def __init__(
@@ -147,16 +374,27 @@ class SweepRunner:
         replications: int = 1,
         base_seed: int = 1,
         jobs: int = 1,
+        shard: Optional[Tuple[int, int]] = None,
+        max_retries: int = 2,
     ):
         if replications < 1:
             raise ValueError("replications must be >= 1")
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if shard is not None:
+            index, count = shard
+            if count < 1 or not 0 <= index < count:
+                raise ValueError(f"shard must be (i, n) with 0 <= i < n, got {shard}")
         self.grid = dict(grid or {})
         self.params = dict(params or {})
         self.replications = replications
         self.base_seed = base_seed
         self.jobs = jobs
+        self.shard = tuple(shard) if shard is not None else None
+        self.max_retries = max_retries
+        self.stats = SweepStats()
         plain, _dotted = split_params({**self.params, **self.grid})
         if isinstance(scenario, ScenarioSpec):
             self.scenario_name: Optional[str] = None
@@ -173,8 +411,28 @@ class SweepRunner:
             self.scenario_name = scenario
             self._spec_dict = None
 
+    def fingerprint(self) -> str:
+        """Stable identity of the whole sweep (shard-independent).
+
+        Hashes everything that determines the run list and its results:
+        scenario (or concrete spec dict), grid, fixed params, replications
+        and base seed.  Shards of one sweep share this fingerprint, which
+        is how compaction verifies they belong together.
+        """
+        payload = canonical_json(
+            {
+                "scenario": self.scenario_name,
+                "spec": self._spec_dict,
+                "grid": self.grid,
+                "params": self.params,
+                "replications": self.replications,
+                "base_seed": self.base_seed,
+            }
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
     def runs(self) -> List[SweepRun]:
-        """The ordered, fully-expanded list of runs this sweep will execute."""
+        """The ordered, fully-expanded list of runs of the *whole* sweep."""
         out: List[SweepRun] = []
         index = 0
         for combo in expand_grid(self.grid):
@@ -192,37 +450,320 @@ class SweepRunner:
                 index += 1
         return out
 
+    def shard_runs(self) -> List[SweepRun]:
+        """The subset of :meth:`runs` this invocation executes."""
+        runs = self.runs()
+        if self.shard is None:
+            return runs
+        index, count = self.shard
+        return [r for r in runs if r.index % count == index]
+
+    # ------------------------------------------------------------- resume
+
+    def _validate_store(
+        self, store: ResultStore, runs: Sequence[SweepRun]
+    ) -> Set[int]:
+        """Which planned runs are already complete in the store.
+
+        Scans the longest valid JSONL prefix, matches records to planned
+        runs by (index, seed, fingerprint) and truncates any corrupt tail
+        left by a killed writer — but only when every parsed record
+        belongs to this sweep, so an unrelated store is never damaged.
+        """
+        records, clean_end = store.scan_valid()
+        by_index = {run.index: run for run in runs}
+        fp_memo: Dict[int, str] = {}
+        completed: Set[int] = set()
+        all_ours = True
+        for record in records:
+            run_info = record.get("run")
+            if not isinstance(run_info, dict):
+                all_ours = False
+                continue
+            index = run_info.get("index")
+            run = by_index.get(index)
+            if run is None or run_info.get("seed") != run.seed:
+                all_ours = False
+                continue
+            if record.get("failed"):
+                # A terminal failure entry counts as completed: a
+                # deterministic failure would only fail again on resume.
+                completed.add(index)
+                continue
+            recorded_fp = run_info.get("fingerprint")
+            if recorded_fp is not None:
+                if index not in fp_memo:
+                    fp_memo[index] = run_fingerprint(run)
+                if recorded_fp != fp_memo[index]:
+                    all_ours = False
+                    continue
+            completed.add(index)
+        if all_ours and os.path.getsize(store.path) > clean_end:
+            store.truncate(clean_end)
+        return completed
+
+    # ------------------------------------------------------------ execution
+
+    def _serial_results(
+        self, runs: Sequence[SweepRun]
+    ) -> Iterator[Tuple[SweepRun, Optional[Dict[str, Any]], Optional[str], bool]]:
+        for run in runs:
+            try:
+                yield run, execute_run(run), None, True
+            except Exception as exc:
+                yield run, None, f"{type(exc).__name__}: {exc}", True
+
+    def _pool_results(
+        self, runs: Sequence[SweepRun]
+    ) -> Iterator[Tuple[SweepRun, Optional[Dict[str, Any]], Optional[str], bool]]:
+        """Yield results in run order from a fault-tolerant worker pool.
+
+        Futures are submitted through a bounded window (the input list can
+        be huge).  A worker that dies abruptly breaks the whole executor
+        (``BrokenProcessPool``); the pool is rebuilt and every run without
+        a committed result is resubmitted.  The break is attributed to the
+        run whose result we were waiting on — after ``max_retries``
+        rebuilds blamed on the same run, it is reported as failed instead
+        of resubmitted, so one poisonous run cannot wedge the sweep.
+        """
+        pending: List[SweepRun] = list(runs)
+        blame: Dict[int, int] = {}
+        while pending:
+            executor = ProcessPoolExecutor(max_workers=self.jobs)
+            window: deque = deque()
+            submitted = 0
+            window_size = self.jobs * 4
+            try:
+                while window or submitted < len(pending):
+                    while submitted < len(pending) and len(window) < window_size:
+                        run = pending[submitted]
+                        window.append((run, executor.submit(_pool_execute, run)))
+                        submitted += 1
+                    run, future = window.popleft()
+                    try:
+                        _index, record, error = future.result()
+                    except BrokenProcessPool:
+                        self.stats.retried += 1
+                        blame[run.index] = blame.get(run.index, 0) + 1
+                        survivors = [run] + [r for r, _f in window] + pending[submitted:]
+                        if blame[run.index] > self.max_retries:
+                            # Not retriable in the parent either: whatever
+                            # killed the workers would kill the sweep too.
+                            yield run, None, (
+                                "worker process died while executing this run "
+                                f"({blame[run.index]} attempts)"
+                            ), False
+                            survivors = survivors[1:]
+                        pending = survivors
+                        break  # rebuild the executor over the survivors
+                    yield run, record, error, True
+                else:
+                    pending = []
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+
     def execute(
         self,
         store: Optional[ResultStore] = None,
         progress: Optional[Callable[[int, int, Dict[str, Any]], None]] = None,
+        cache: Optional[ResultCache] = None,
+        resume: bool = True,
+        stop_after: Optional[int] = None,
+        collect: bool = True,
     ) -> List[Dict[str, Any]]:
-        """Run the sweep; returns records in run order.
+        """Run the sweep; returns records in run order (when ``collect``).
 
-        ``progress(done, total, record)`` is invoked after every completed
-        run (in completion order for parallel sweeps, which equals run order
-        because results are consumed from an ordered ``imap``).
+        ``progress(done, total, record)`` is invoked after every committed
+        run, in run order (parallel execution is consumed from an ordered
+        result stream).  ``done`` counts completed runs including those
+        resumed from the store.
+
+        With a ``store``, records are appended as they complete — memory
+        stays O(1) in sweep size when ``collect=False`` — and a manifest
+        next to the store checkpoints completion so an interrupted sweep
+        resumes where it left off (``resume=True``); a re-run of a
+        completed sweep is a no-op.  ``stop_after`` commits at most that
+        many new runs and then stops (a controlled interruption, used by
+        tests/CI and for budgeted execution).  With a ``cache``, runs whose
+        spec fingerprint is already cached skip simulation entirely.
+
+        Failures never abort the sweep: a raising run is retried up to
+        ``max_retries`` times and then recorded as a failure entry
+        (``{"failed": true, "error": ...}``); counts are in :attr:`stats`.
         """
-        runs = self.runs()
-        total = len(runs)
-        records: List[Dict[str, Any]] = []
-        if self.jobs == 1 or total <= 1:
-            for run in runs:
-                record = execute_run(run)
-                records.append(record)
-                if progress is not None:
-                    progress(len(records), total, record)
-        else:
-            # chunksize=1 keeps load balanced: simulation times vary wildly
-            # across grid points.
-            with multiprocessing.Pool(processes=self.jobs) as pool:
-                for record in pool.imap(execute_run, runs, chunksize=1):
-                    records.append(record)
-                    if progress is not None:
-                        progress(len(records), total, record)
+        runs = self.shard_runs()
+        stats = SweepStats(total=len(runs))
+        self.stats = stats
+        started = time.perf_counter()
+
+        manifest: Optional[SweepManifest] = None
+        completed: Set[int] = set()
         if store is not None:
-            store.append_many(records)
+            mpath = manifest_path(store.path)
+            sweep_fp = self.fingerprint()
+            existing = SweepManifest.load(mpath)
+            if existing is not None and existing.sweep_fingerprint != sweep_fp:
+                raise ValueError(
+                    f"store {store.path!r} belongs to a different sweep "
+                    f"(manifest {mpath!r} fingerprint mismatch); use a "
+                    "different --out or remove the old store to start fresh"
+                )
+            if resume and os.path.exists(store.path):
+                completed = self._validate_store(store, runs)
+            manifest = SweepManifest(
+                path=mpath,
+                sweep_fingerprint=sweep_fp,
+                total=len(runs),
+                sweep_total=len(self.runs()) if self.shard else len(runs),
+                shard=self.shard,
+                completed=set(completed),
+            )
+            stats.resumed = len(completed)
+            manifest.save()
+
+        pending = [r for r in runs if r.index not in completed]
+
+        # Cache lookups happen up front: hits are reconstructed in the
+        # parent, only misses are dispatched to workers.
+        hits: Dict[int, Dict[str, Any]] = {}
+        to_run: List[SweepRun] = []
+        for run in pending:
+            if cache is not None:
+                spec = _resolve_spec_cached(run)
+                fp = fingerprint_spec(spec, run.seed)
+                pure = cache.get(fp)
+                if pure is not None:
+                    hits[run.index] = stamp_record(pure, run, spec, fp)
+                    continue
+            to_run.append(run)
+
+        if self.jobs == 1 or len(to_run) <= 1:
+            results = self._serial_results(to_run)
+        else:
+            results = self._pool_results(to_run)
+
+        records: List[Dict[str, Any]] = []
+        committed_now = 0
+        stopped_early = False
+        appender_cm = store.appender() if store is not None else None
+        append = appender_cm.__enter__() if appender_cm is not None else None
+        try:
+            for run in pending:
+                if run.index in hits:
+                    record = hits.pop(run.index)
+                    stats.cached += 1
+                else:
+                    _r, record, error, retriable = next(results)
+                    if error is not None and retriable:
+                        for _attempt in range(self.max_retries):
+                            stats.retried += 1
+                            try:
+                                record = execute_run(run)
+                                error = None
+                                break
+                            except Exception as exc:
+                                error = f"{type(exc).__name__}: {exc}"
+                    if error is not None:
+                        record = _failure_record(run, error, self.max_retries)
+                        stats.failed += 1
+                        if manifest is not None:
+                            manifest.failed[run.index] = error
+                    else:
+                        stats.executed += 1
+                        if cache is not None:
+                            fp = record["run"].get("fingerprint")
+                            if fp is not None:
+                                cache.put(fp, record)
+                if collect:
+                    records.append(record)
+                if append is not None:
+                    append(record)
+                if manifest is not None:
+                    manifest.completed.add(run.index)
+                    manifest.save()
+                committed_now += 1
+                if progress is not None:
+                    progress(stats.resumed + committed_now, len(runs), record)
+                if stop_after is not None and committed_now >= stop_after:
+                    stopped_early = True
+                    break
+        finally:
+            if appender_cm is not None:
+                appender_cm.__exit__(None, None, None)
+            # Closing the (possibly still-live) pool generator shuts its
+            # executor down via its own finally clause; a no-op otherwise.
+            results.close()
+            stats.wall_s = time.perf_counter() - started
+
+        if collect and store is not None and (stats.resumed or stopped_early):
+            # The caller wants the complete picture in run order, part of
+            # which predates (or outlives) this invocation: read it back.
+            return [r for r in store.iter_records(strict=False)]
         return records
+
+
+# ---------------------------------------------------------------- compaction
+
+
+def compact_stores(
+    out: str, shard_paths: Sequence[str], strict_manifests: bool = True
+) -> int:
+    """Merge sweep shard stores into one sorted, deduplicated store.
+
+    Records are ordered by global run index (then seed), so compacting the
+    shards of one sweep reproduces the byte-identical store an unsharded
+    run would have written.  Duplicates (overlapping shards, a shard run
+    twice) are dropped by fingerprint; where both a failure entry and a
+    successful record exist for one index, the success wins.
+
+    When every shard has a manifest agreeing on the sweep fingerprint,
+    a merged manifest is written next to ``out`` (union of completed
+    indices over the full sweep); with ``strict_manifests`` a fingerprint
+    disagreement raises instead of silently merging unrelated sweeps.
+
+    Returns the number of records written.
+    """
+    best: Dict[int, Dict[str, Any]] = {}
+    order: Dict[int, Tuple[int, int]] = {}
+    extras: List[Dict[str, Any]] = []
+    for path in shard_paths:
+        for record in ResultStore(path).iter_records(strict=False):
+            run_info = record.get("run")
+            if not isinstance(run_info, dict) or "index" not in run_info:
+                extras.append(record)  # not sweep provenance; keep at the end
+                continue
+            index = run_info["index"]
+            current = best.get(index)
+            if current is None or (current.get("failed") and not record.get("failed")):
+                best[index] = record
+                order[index] = (index, run_info.get("seed", 0))
+
+    manifests = [SweepManifest.load(manifest_path(p)) for p in shard_paths]
+    fingerprints = {m.sweep_fingerprint for m in manifests if m is not None}
+    if strict_manifests and len(fingerprints) > 1:
+        raise ValueError(
+            f"shards disagree on the sweep fingerprint ({sorted(fingerprints)}); "
+            "refusing to merge records of different sweeps"
+        )
+
+    merged = [best[i] for i in sorted(best)] + extras
+    count = ResultStore(out).rewrite(merged)
+
+    if len(fingerprints) == 1 and all(m is not None for m in manifests):
+        sweep_total = max(m.sweep_total for m in manifests)  # type: ignore[union-attr]
+        combined = SweepManifest(
+            path=manifest_path(out),
+            sweep_fingerprint=next(iter(fingerprints)),
+            total=sweep_total,
+            sweep_total=sweep_total,
+            shard=None,
+            completed=set(best),
+            failed={
+                k: v for m in manifests for k, v in m.failed.items()  # type: ignore[union-attr]
+            },
+        )
+        combined.save()
+    return count
 
 
 def sweep(
@@ -234,6 +775,10 @@ def sweep(
     jobs: int = 1,
     out: Optional[str] = None,
     verbose: bool = False,
+    cache: Optional[str] = None,
+    shard: Optional[Tuple[int, int]] = None,
+    resume: bool = True,
+    max_retries: int = 2,
 ) -> List[Dict[str, Any]]:
     """Convenience wrapper: build a :class:`SweepRunner` and execute it."""
     runner = SweepRunner(
@@ -243,18 +788,32 @@ def sweep(
         replications=replications,
         base_seed=base_seed,
         jobs=jobs,
+        shard=shard,
+        max_retries=max_retries,
     )
     store = ResultStore(out) if out is not None else None
+    result_cache = ResultCache(cache) if cache is not None else None
     started = time.perf_counter()
 
     def progress(done: int, total: int, record: Dict[str, Any]) -> None:
         if verbose:
             elapsed = time.perf_counter() - started
+            stats = runner.stats
+            fresh = done - stats.resumed
+            eta = elapsed / fresh * (total - done) if fresh > 0 else 0.0
+            rate = record.get("tfmcc_mean_bps")
+            label = f"tfmcc={rate / 1e3:.1f} kbit/s" if rate is not None else "FAILED"
             print(
-                f"[{done}/{total}] seed={record['run']['seed']} "
-                f"tfmcc={record['tfmcc_mean_bps'] / 1e3:.1f} kbit/s "
-                f"({elapsed:.1f}s elapsed)",
+                f"[{done}/{total}] seed={record['run']['seed']} {label} "
+                f"({elapsed:.1f}s elapsed, eta {eta:.0f}s, "
+                f"cache {stats.cached} hit / {stats.executed} miss, "
+                f"{stats.retried} retried)",
                 file=sys.stderr,
             )
 
-    return runner.execute(store=store, progress=progress)
+    records = runner.execute(
+        store=store, progress=progress, cache=result_cache, resume=resume
+    )
+    if verbose:
+        print(f"sweep complete: {runner.stats.summary()}", file=sys.stderr)
+    return records

@@ -16,6 +16,10 @@ Hot-path design notes
   the heap once more than half of it is dead.  Compaction filters the same
   tuples and re-heapifies, so the pop order of surviving events is
   unchanged.
+* The run loop drains all events sharing the current timestamp in one
+  inner batch: the ``until`` comparison and the ``now`` write are per
+  distinct time, not per event (packet bursts, simultaneous feedback and
+  cohort steps frequently collide on one timestamp).
 * :meth:`Simulator.reschedule` is a fast path for the dominant
   recurring-timer pattern (media senders, CBR sources, link drains): when
   the previous handle has already fired it is reused in place, so a
@@ -254,6 +258,7 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         self._stopped = False
+        pop = heappop  # hoisted: dominant call of the loop
         queue = self._queue
         limit = max_events if max_events is not None else float("inf")
         processed = 0
@@ -261,19 +266,33 @@ class Simulator:
             while queue and not self._stopped:
                 time, _seq, handle = queue[0]
                 if handle.cancelled:
-                    heappop(queue)
+                    pop(queue)
                     self._dead -= 1
                     continue
                 if until is not None and time >= until:
                     self.now = until
                     break
-                heappop(queue)
                 self.now = time
-                handle.fired = True
-                handle.callback(*handle.args)
-                processed += 1
-                # Callbacks may replace the queue (compaction); resync.
-                queue = self._queue
+                # Batching fast path: drain every event sharing this
+                # timestamp in one inner loop, so the `until` comparison
+                # and the `now` write happen once per distinct time, not
+                # once per event.  Pop order is unchanged, and `_stopped`
+                # and the event limit are still honoured between events.
+                while True:
+                    pop(queue)
+                    handle.fired = True
+                    handle.callback(*handle.args)
+                    processed += 1
+                    # Callbacks may replace the queue (compaction); resync.
+                    queue = self._queue
+                    if processed >= limit or self._stopped:
+                        break
+                    while queue and queue[0][2].cancelled:
+                        pop(queue)
+                        self._dead -= 1
+                    if not queue or queue[0][0] != time:
+                        break
+                    handle = queue[0][2]
                 if processed >= limit:
                     break
             else:

@@ -84,3 +84,13 @@ def test_link_binds_rng_to_red_queue_automatically():
     a, b = Node(sim, "a"), Node(sim, "b")
     link = Link(sim, a, b, bandwidth=1e6, delay=0.001, queue=REDQueue(limit=10))
     assert link.queue._rng is sim.rng
+
+
+def test_sweep_resume_workload_warm_speedup():
+    """ISSUE acceptance: the warm cached re-run must simulate nothing and be
+    at least 5x faster than the cold pass."""
+    result = bench.run_workload("sweep_resume", quick=True)
+    extras = result["extras"]
+    assert extras["cached_runs"] == 3
+    assert extras["warm_speedup"] >= 5
+    assert extras["warm_s"] < extras["cold_s"]

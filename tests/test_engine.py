@@ -264,3 +264,59 @@ def test_max_events_zero_still_bounds_the_run():
     # Matches the pre-overhaul semantics: the bound is checked after each
     # event, so max_events=0 processes exactly one event, never the queue.
     assert sim.events_processed == 1
+
+
+# ----------------------------------------------------- same-timestamp batches
+
+
+def test_zero_delay_events_join_the_current_batch():
+    sim = Simulator(seed=1)
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(0.0, lambda: fired.append("chained"))
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0, lambda: fired.append("second"))
+    sim.run()
+    # The chained zero-delay event shares the timestamp but was scheduled
+    # later, so it runs after the pre-existing tie — exactly as before the
+    # batching fast path.
+    assert fired == ["first", "second", "chained"]
+    assert sim.now == 1.0
+
+
+def test_stop_mid_batch_skips_later_same_time_events():
+    sim = Simulator(seed=1)
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(1.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1]
+    assert sim.now == 1.0
+
+
+def test_max_events_is_honoured_within_a_batch():
+    sim = Simulator(seed=1)
+    for _ in range(5):
+        sim.schedule(1.0, lambda: None)
+    sim.run(max_events=2)
+    assert sim.events_processed == 2
+    assert sim.peek() == 1.0  # the rest of the batch is still pending
+
+
+def test_cancellation_inside_a_batch_is_respected():
+    sim = Simulator(seed=1)
+    fired = []
+    handles = []
+
+    def first():
+        fired.append(1)
+        handles[1].cancel()
+
+    handles.append(sim.schedule(1.0, first))
+    handles.append(sim.schedule(1.0, lambda: fired.append(2)))
+    handles.append(sim.schedule(1.0, lambda: fired.append(3)))
+    sim.run()
+    assert fired == [1, 3]

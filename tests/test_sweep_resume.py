@@ -1,0 +1,406 @@
+"""Orchestration tests: sweep resume, sharding, result cache, fault tolerance.
+
+Covers the sweep orchestrator's acceptance properties:
+
+* spec fingerprints are canonical and stable across processes,
+* records stream to the store per completion (O(1) memory, crash-safe),
+* an interrupted sweep (controlled stop or SIGKILL) resumes to a store
+  byte-identical to an uninterrupted run; a completed sweep re-run is a no-op,
+* a warm result-cache re-run performs zero simulations yet writes the same
+  bytes,
+* the union of shard stores compacts to exactly the unsharded sweep,
+* a failing run is retried and finally recorded as a failure entry without
+  aborting the sweep; a killed worker only breaks (and rebuilds) its pool.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.cli import main as cli_main
+from repro.scenarios import (
+    ResultCache,
+    ResultStore,
+    SweepManifest,
+    SweepRunner,
+    compact_stores,
+    fingerprint,
+    get_scenario,
+    manifest_path,
+)
+from repro.scenarios.cache import fingerprint_spec
+
+# ``repro.scenarios.sweep`` the attribute is the convenience *function*
+# (re-exported by the package); fetch the module itself for monkeypatching.
+sweep_mod = sys.modules["repro.scenarios.sweep"]
+
+TINY = {"duration": 4.0, "num_tcp": 2}
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def tiny_runner(**kwargs):
+    """Three-run fairness sweep (seeds 2, 3, 4), the shared fixture shape."""
+    defaults = dict(params=dict(TINY), replications=3, base_seed=2)
+    defaults.update(kwargs)
+    return SweepRunner("fairness", **defaults)
+
+
+# -------------------------------------------------------------- fingerprints
+
+
+def test_fingerprint_is_canonical():
+    spec_dict = get_scenario("fairness").spec(**TINY).to_dict()
+    fp = fingerprint(spec_dict, 7)
+    assert len(fp) == 16
+    # A JSON round trip and a different key insertion order do not matter.
+    assert fingerprint(json.loads(json.dumps(spec_dict)), 7) == fp
+    assert fingerprint(dict(reversed(list(spec_dict.items()))), 7) == fp
+    # The seed does.
+    assert fingerprint(spec_dict, 8) != fp
+
+
+def test_fingerprint_is_stable_across_processes():
+    spec = get_scenario("fairness").spec(**TINY)
+    fp = fingerprint_spec(spec, 7)
+    code = (
+        "from repro.scenarios import get_scenario\n"
+        "from repro.scenarios.cache import fingerprint_spec\n"
+        "spec = get_scenario('fairness').spec(duration=4.0, num_tcp=2)\n"
+        "print(fingerprint_spec(spec, 7))\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        check=True,
+        env={**os.environ, "PYTHONPATH": SRC_DIR},
+    )
+    assert out.stdout.strip() == fp
+
+
+# -------------------------------------------------------------- result cache
+
+
+def test_result_cache_roundtrip_strips_provenance(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache.jsonl"))
+    record = {"a": 1, "nested": {"x": [1, 2]}, "run": {"index": 0, "seed": 9}}
+    assert cache.put("k1", record) is True
+    assert cache.put("k1", {"a": 999}) is False  # first write wins
+    pure = {"a": 1, "nested": {"x": [1, 2]}}
+    got = cache.get("k1")
+    assert got == pure
+    got["nested"]["x"].append(3)  # callers mutate their copy...
+    assert cache.get("k1") == pure  # ...never the index
+    assert cache.get("missing") is None
+    assert cache.hits == 2 and cache.misses == 1
+    assert "k1" in cache and len(cache) == 1
+    # The file persists across instances (a later invocation warm-starts).
+    assert ResultCache(str(tmp_path / "cache.jsonl")).get("k1") == pure
+
+
+def test_result_cache_tolerates_truncated_trailing_line(tmp_path):
+    path = tmp_path / "cache.jsonl"
+    ResultCache(str(path)).put("k1", {"a": 1})
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"fingerprint": "k2", "rec')  # writer killed mid-line
+    again = ResultCache(str(path))
+    assert again.get("k1") == {"a": 1}
+    assert "k2" not in again
+
+
+# ---------------------------------------------------------- streaming writes
+
+
+def test_records_stream_to_store_per_completion(tmp_path):
+    """Every committed run is on disk before the next one starts."""
+    store_path = tmp_path / "s.jsonl"
+    seen = []
+
+    def progress(done, total, record):
+        seen.append((done, total, len(store_path.read_text().splitlines())))
+
+    tiny_runner().execute(store=ResultStore(str(store_path)), progress=progress)
+    assert seen == [(1, 3, 1), (2, 3, 2), (3, 3, 3)]
+
+
+# -------------------------------------------------------------------- resume
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_interrupted_sweep_resumes_byte_identical(tmp_path, jobs):
+    ref = tmp_path / "ref.jsonl"
+    tiny_runner(jobs=jobs).execute(store=ResultStore(str(ref)))
+
+    store = tmp_path / "resumable.jsonl"
+    tiny_runner(jobs=jobs).execute(store=ResultStore(str(store)), stop_after=1)
+    assert len(store.read_text().splitlines()) == 1
+
+    resumed = tiny_runner(jobs=jobs)
+    records = resumed.execute(store=ResultStore(str(store)))
+    assert store.read_bytes() == ref.read_bytes()
+    assert resumed.stats.resumed == 1 and resumed.stats.executed == 2
+    assert [r["run"]["index"] for r in records] == [0, 1, 2]
+
+    manifest = SweepManifest.load(manifest_path(str(store)))
+    assert manifest is not None
+    assert manifest.completed == {0, 1, 2}
+    assert manifest.sweep_fingerprint == resumed.fingerprint()
+
+
+def test_completed_sweep_rerun_is_noop(tmp_path):
+    store = tmp_path / "s.jsonl"
+    tiny_runner().execute(store=ResultStore(str(store)))
+    before = store.read_bytes()
+
+    rerun = tiny_runner()
+    records = rerun.execute(store=ResultStore(str(store)))
+    assert rerun.stats.executed == 0 and rerun.stats.resumed == 3
+    assert store.read_bytes() == before
+    assert [r["run"]["index"] for r in records] == [0, 1, 2]
+
+
+def test_truncated_tail_is_repaired_on_resume(tmp_path):
+    ref = tmp_path / "ref.jsonl"
+    tiny_runner().execute(store=ResultStore(str(ref)))
+
+    store = tmp_path / "s.jsonl"
+    tiny_runner().execute(store=ResultStore(str(store)), stop_after=2)
+    with open(store, "ab") as fh:
+        fh.write(b'{"tfmcc_mean_bps": 123, "run": {"inde')  # killed mid-write
+
+    resumed = tiny_runner()
+    resumed.execute(store=ResultStore(str(store)))
+    assert resumed.stats.resumed == 2
+    assert store.read_bytes() == ref.read_bytes()
+
+
+def test_resuming_a_different_sweep_raises(tmp_path):
+    store = tmp_path / "s.jsonl"
+    tiny_runner().execute(store=ResultStore(str(store)), stop_after=1)
+    with pytest.raises(ValueError, match="different sweep"):
+        tiny_runner(base_seed=99).execute(store=ResultStore(str(store)))
+
+
+# --------------------------------------------------------------------- cache
+
+
+def test_warm_cache_rerun_runs_zero_simulations(tmp_path, monkeypatch):
+    cache = ResultCache(str(tmp_path / "cache.jsonl"))
+    cold_store = tmp_path / "cold.jsonl"
+    tiny_runner().execute(store=ResultStore(str(cold_store)), cache=cache)
+
+    def boom(*args, **kwargs):  # a warm re-run must never reach the simulator
+        raise AssertionError("warm cached re-run simulated a run")
+
+    monkeypatch.setattr(sweep_mod, "run_scenario", boom)
+    warm_store = tmp_path / "warm.jsonl"
+    warm = tiny_runner()
+    warm.execute(store=ResultStore(str(warm_store)), cache=cache)
+    assert warm.stats.executed == 0 and warm.stats.cached == 3
+    assert warm_store.read_bytes() == cold_store.read_bytes()
+
+
+# -------------------------------------------------------------------- shards
+
+
+def test_shard_union_compacts_to_full_sweep(tmp_path):
+    ref = tmp_path / "ref.jsonl"
+    tiny_runner().execute(store=ResultStore(str(ref)))
+
+    shard_paths = []
+    for i in range(2):
+        path = tmp_path / f"shard{i}.jsonl"
+        tiny_runner(shard=(i, 2)).execute(store=ResultStore(str(path)))
+        shard_paths.append(str(path))
+    # index % 2 partitioning: shard 0 owns runs {0, 2}, shard 1 owns {1}.
+    assert len((tmp_path / "shard0.jsonl").read_text().splitlines()) == 2
+    assert len((tmp_path / "shard1.jsonl").read_text().splitlines()) == 1
+
+    merged = tmp_path / "merged.jsonl"
+    assert compact_stores(str(merged), shard_paths) == 3
+    assert merged.read_bytes() == ref.read_bytes()
+
+    manifest = SweepManifest.load(manifest_path(str(merged)))
+    assert manifest is not None
+    assert manifest.completed == {0, 1, 2}
+    assert manifest.shard is None
+
+
+def test_compact_rejects_mismatched_sweeps(tmp_path):
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    tiny_runner(shard=(0, 2)).execute(store=ResultStore(str(a)))
+    tiny_runner(base_seed=50, shard=(1, 2)).execute(store=ResultStore(str(b)))
+    with pytest.raises(ValueError, match="fingerprint"):
+        compact_stores(str(tmp_path / "m.jsonl"), [str(a), str(b)])
+
+
+# ----------------------------------------------------------- fault tolerance
+
+
+def test_transient_failure_is_retried(tmp_path, monkeypatch):
+    ref = tmp_path / "ref.jsonl"
+    tiny_runner().execute(store=ResultStore(str(ref)))
+
+    real = sweep_mod.run_scenario
+    failures = {"left": 1}
+
+    def flaky(spec, seed=None, **kwargs):
+        if seed == 3 and failures["left"] > 0:
+            failures["left"] -= 1
+            raise RuntimeError("transient")
+        return real(spec, seed=seed, **kwargs)
+
+    monkeypatch.setattr(sweep_mod, "run_scenario", flaky)
+    runner = tiny_runner()
+    store = tmp_path / "s.jsonl"
+    runner.execute(store=ResultStore(str(store)))
+    assert runner.stats.retried == 1 and runner.stats.failed == 0
+    assert store.read_bytes() == ref.read_bytes()
+
+
+def test_terminal_failure_is_recorded_and_not_rerun(tmp_path, monkeypatch):
+    real = sweep_mod.run_scenario
+
+    def broken(spec, seed=None, **kwargs):
+        if seed == 3:
+            raise RuntimeError("deterministic bug")
+        return real(spec, seed=seed, **kwargs)
+
+    monkeypatch.setattr(sweep_mod, "run_scenario", broken)
+    runner = tiny_runner(max_retries=1)
+    store = tmp_path / "s.jsonl"
+    records = runner.execute(store=ResultStore(str(store)))
+    assert runner.stats.failed == 1 and runner.stats.retried == 1
+    assert runner.stats.executed == 2
+
+    entry = records[1]
+    assert entry["failed"] is True
+    assert "deterministic bug" in entry["error"]
+    assert entry["run"]["index"] == 1 and entry["run"]["seed"] == 3
+    manifest = SweepManifest.load(manifest_path(str(store)))
+    assert manifest.failed == {1: "RuntimeError: deterministic bug"}
+
+    # A deterministic failure would only fail again: resume treats the
+    # failure entry as completed instead of retrying it forever.
+    rerun = tiny_runner(max_retries=1)
+    rerun.execute(store=ResultStore(str(store)))
+    assert rerun.stats.resumed == 3 and rerun.stats.executed == 0
+
+
+def test_killed_worker_pool_is_rebuilt(tmp_path, monkeypatch):
+    """SIGKILLing a worker mid-run breaks only its pool, never the sweep."""
+    ref = tmp_path / "ref.jsonl"
+    tiny_runner(jobs=2).execute(store=ResultStore(str(ref)))
+
+    real = sweep_mod.run_scenario
+    flag = tmp_path / "kill-once"
+    flag.write_text("armed")
+
+    def killer(spec, seed=None, **kwargs):
+        if seed == 3 and flag.exists():
+            flag.unlink()
+            os.kill(os.getpid(), signal.SIGKILL)
+        return real(spec, seed=seed, **kwargs)
+
+    # Pool workers are forked, so they inherit the patched module.
+    monkeypatch.setattr(sweep_mod, "run_scenario", killer)
+    runner = tiny_runner(jobs=2)
+    store = tmp_path / "s.jsonl"
+    runner.execute(store=ResultStore(str(store)))
+    assert runner.stats.retried >= 1 and runner.stats.failed == 0
+    assert store.read_bytes() == ref.read_bytes()
+
+
+# ----------------------------------------------------------------------- CLI
+
+
+CLI_ARGS = [
+    "sweep",
+    "fairness",
+    "--reps",
+    "3",
+    "--seed",
+    "2",
+    "--set",
+    "duration=4.0",
+    "--set",
+    "num_tcp=2",
+    "--quiet",
+]
+
+
+def test_cli_sigkill_then_resume_byte_identical(tmp_path):
+    ref = tmp_path / "ref.jsonl"
+    assert cli_main(CLI_ARGS + ["--out", str(ref)]) == 0
+
+    store = tmp_path / "s.jsonl"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro"] + CLI_ARGS + ["--out", str(store)],
+        env={**os.environ, "PYTHONPATH": SRC_DIR},
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        # Kill -9 as soon as the first record lands, i.e. mid-sweep.
+        deadline = time.time() + 120
+        while time.time() < deadline and proc.poll() is None:
+            if store.exists() and store.read_bytes().count(b"\n") >= 1:
+                break
+            time.sleep(0.02)
+    finally:
+        proc.kill()
+        proc.wait()
+    lines_before = store.read_bytes().count(b"\n")
+    assert lines_before >= 1
+
+    assert cli_main(CLI_ARGS + ["--out", str(store)]) == 0
+    assert store.read_bytes() == ref.read_bytes()
+
+
+def test_cli_stop_after_then_resume(tmp_path, capsys):
+    ref = tmp_path / "ref.jsonl"
+    assert cli_main(CLI_ARGS + ["--out", str(ref)]) == 0
+    store = tmp_path / "s.jsonl"
+    assert cli_main(CLI_ARGS + ["--out", str(store), "--stop-after", "1"]) == 0
+    assert "re-run" in capsys.readouterr().err  # points the user at resume
+    assert len(store.read_text().splitlines()) == 1
+    assert cli_main(CLI_ARGS + ["--out", str(store)]) == 0
+    assert store.read_bytes() == ref.read_bytes()
+
+
+def test_cli_shard_and_compact(tmp_path):
+    ref = tmp_path / "ref.jsonl"
+    assert cli_main(CLI_ARGS + ["--out", str(ref)]) == 0
+    for i in range(2):
+        shard_out = str(tmp_path / f"shard{i}.jsonl")
+        assert cli_main(CLI_ARGS + ["--shard", f"{i}/2", "--out", shard_out]) == 0
+    merged = tmp_path / "merged.jsonl"
+    rc = cli_main(
+        [
+            "sweep",
+            "--compact",
+            str(tmp_path / "shard0.jsonl"),
+            str(tmp_path / "shard1.jsonl"),
+            "--out",
+            str(merged),
+        ]
+    )
+    assert rc == 0
+    assert merged.read_bytes() == ref.read_bytes()
+
+
+def test_cli_sweep_argument_errors(tmp_path):
+    with pytest.raises(SystemExit):
+        cli_main(CLI_ARGS + ["--shard", "bogus"])
+    with pytest.raises(SystemExit):
+        cli_main(["sweep", "--compact", str(tmp_path / "a.jsonl")])  # no --out
+    with pytest.raises(SystemExit):
+        cli_main(["sweep"])  # no scenario and no --compact
+    # Out-of-range shard index is a plain usage error (exit code 2).
+    assert cli_main(CLI_ARGS + ["--shard", "3/2"]) == 2
