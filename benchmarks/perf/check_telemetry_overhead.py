@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""CI gate: the telemetry layer must cost <2% on the event loop when disabled.
+
+Committed baselines cannot gate this (they were recorded on a different
+machine), so the check is an in-process A/B: the production ``Simulator``
+with telemetry disabled versus a control subclass whose ``run`` is the
+pre-telemetry loop verbatim (no ``self.telemetry`` dispatch check).  Both
+drive the same ``engine_churn`` timer-storm workload; runs are interleaved
+and best-of-N so scheduler noise hits both sides equally.
+
+Usage: PYTHONPATH=src python benchmarks/perf/check_telemetry_overhead.py
+Exits non-zero when the disabled-telemetry loop is more than MAX_OVERHEAD
+slower than the control loop.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from heapq import heappop
+from typing import Any, List, Optional
+
+from repro.simulator.engine import Simulator
+
+#: Allowed fractional slowdown of the production loop vs the control loop.
+MAX_OVERHEAD = 0.02
+
+#: Interleaved repetitions per side; best-of-N is compared.
+REPETITIONS = 7
+
+#: Simulated seconds of timer churn per run.
+UNTIL = 4.0
+
+
+class ControlSimulator(Simulator):
+    """Simulator with the pre-telemetry run loop (no dispatch check)."""
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        if self._running:
+            raise RuntimeError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        pop = heappop
+        queue = self._queue
+        limit = max_events if max_events is not None else float("inf")
+        processed = 0
+        try:
+            while queue and not self._stopped:
+                time, _seq, handle = queue[0]
+                if handle.cancelled:
+                    pop(queue)
+                    self._dead -= 1
+                    continue
+                if until is not None and time >= until:
+                    self.now = until
+                    break
+                self.now = time
+                while True:
+                    pop(queue)
+                    handle.fired = True
+                    handle.callback(*handle.args)
+                    processed += 1
+                    queue = self._queue
+                    if processed >= limit or self._stopped:
+                        break
+                    while queue and queue[0][2].cancelled:
+                        pop(queue)
+                        self._dead -= 1
+                    if not queue or queue[0][0] != time:
+                        break
+                    handle = queue[0][2]
+                if processed >= limit:
+                    break
+            else:
+                if until is not None and not self._stopped:
+                    self.now = max(self.now, until)
+        finally:
+            self._running = False
+            self.events_processed += processed
+        return self.now
+
+
+def churn(sim: Simulator) -> float:
+    """The engine_churn workload from repro.bench, parameterised on the sim."""
+    n = 256
+    handles: List[Any] = [None] * n
+
+    def tick(i: int) -> None:
+        j = (i + 1) % n
+        h = handles[j]
+        if h is not None and h.pending:
+            h.cancel()
+        handles[j] = sim.schedule(0.02, tick, j)
+        handles[i] = sim.schedule(0.01, tick, i)
+
+    for i in range(0, n, 2):
+        handles[i] = sim.schedule(0.01 + i * 1e-5, tick, i)
+
+    start = time.perf_counter()
+    sim.run(until=UNTIL)
+    return time.perf_counter() - start
+
+
+def main() -> int:
+    production: List[float] = []
+    control: List[float] = []
+    events = None
+    for _ in range(REPETITIONS):
+        prod_sim = Simulator(seed=123)
+        assert prod_sim.telemetry is None, "telemetry must be disabled for this check"
+        production.append(churn(prod_sim))
+        ctrl_sim = ControlSimulator(seed=123)
+        control.append(churn(ctrl_sim))
+        if events is None:
+            events = prod_sim.events_processed
+        assert prod_sim.events_processed == ctrl_sim.events_processed == events, (
+            "control loop diverged from the production loop"
+        )
+    best_production = min(production)
+    best_control = min(control)
+    overhead = best_production / best_control - 1.0
+    print(
+        f"telemetry-disabled overhead on engine_churn ({events:,} events): "
+        f"production {best_production * 1000:.1f} ms vs control "
+        f"{best_control * 1000:.1f} ms -> {overhead * +100:.2f}% "
+        f"(limit {MAX_OVERHEAD * 100:.0f}%)"
+    )
+    if overhead > MAX_OVERHEAD:
+        print("FAIL: telemetry layer slows the disabled event loop too much")
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -103,6 +103,10 @@ def _bench_engine_churn(quick: bool) -> Dict[str, Any]:
         "run_s": run_s,
         "seed": 123,
         "params": {"timers": n, "until": until},
+        "counters": {
+            "compactions": sim.compactions,
+            "reschedule_fast_hits": sim.reschedule_fast_hits,
+        },
     }
 
 
@@ -134,12 +138,22 @@ def _scenario_workload(
     record_params = {"scenario": scenario, "duration": duration, **params}
     if engine is not None:
         record_params["engine"] = engine
+    links = built.network.links
     return {
         "events": built.sim.events_processed,
         "build_s": built_at - start,
         "run_s": finished - built_at,
         "seed": seed,
         "params": record_params,
+        # Deterministic always-on counters: a regression (or speedup) comes
+        # with a built-in explanation when these shift against the baseline.
+        "counters": {
+            "compactions": built.sim.compactions,
+            "reschedule_fast_hits": built.sim.reschedule_fast_hits,
+            "queue_drops": sum(link.queue_drops for link in links),
+            "random_drops": sum(link.random_drops for link in links),
+            "queue_peak": max((link.queue_peak for link in links), default=0),
+        },
     }
 
 
@@ -272,6 +286,8 @@ def run_workload(name: str, quick: bool = False) -> Dict[str, Any]:
     # along in the JSON without affecting the regression comparison.
     if "extras" in raw:
         result["extras"] = raw["extras"]
+    if "counters" in raw:
+        result["counters"] = {k: raw["counters"][k] for k in sorted(raw["counters"])}
     return result
 
 
@@ -319,6 +335,14 @@ def compare_to_baseline(
             f"event count changed {baseline.get('events')} -> {result.get('events')} "
             "(baseline from a different engine revision?)"
         )
+    # Telemetry counter deltas: deterministic per pinned seed, so any shift
+    # against the baseline pinpoints *what* changed alongside the speed.
+    base_counters = baseline.get("counters") or {}
+    new_counters = result.get("counters") or {}
+    for key in sorted(set(base_counters) | set(new_counters)):
+        old, new = base_counters.get(key), new_counters.get(key)
+        if old != new and old is not None and new is not None:
+            notes.append(f"counter {key} changed {old} -> {new}")
     if base_eps > 0 and ratio < 1.0 - threshold:
         msg = (
             f"REGRESSION: {result['name']} at {new_eps:,.0f} events/s is "

@@ -55,11 +55,21 @@ from repro.bench import DEFAULT_OUT_DIR as BENCH_OUT_DIR, DEFAULT_THRESHOLD as B
 # scipy/matplotlib-needing dependencies) is imported lazily in cmd_report so
 # the rest of the CLI keeps its stdlib-only footprint.
 REPORT_OUT_DIR = os.path.join("results", "figures")
+from contextlib import nullcontext
+
+from repro import telemetry
 from repro.scenarios.cache import ResultCache, fingerprint_spec
 from repro.scenarios.registry import get_scenario, scenarios
 from repro.scenarios.build import run_scenario
 from repro.scenarios.store import ResultStore, encode_record
-from repro.scenarios.sweep import SweepRunner, compact_stores, manifest_path
+from repro.scenarios.sweep import (
+    SweepRunner,
+    compact_stores,
+    heartbeat_path,
+    manifest_path,
+    run_env,
+    shard_skew,
+)
 
 
 def _parse_value(text: str) -> Any:
@@ -218,7 +228,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     if record is not None:
         print(f"cache hit {fingerprint} in {args.cache}", file=sys.stderr)
     else:
-        record = run_scenario(spec, seed=args.seed)
+        with telemetry.forced(True) if args.telemetry else nullcontext():
+            record = run_scenario(spec, seed=args.seed)
         if cache is not None:
             cache.put(fingerprint, record)
     elapsed = time.perf_counter() - started
@@ -229,7 +240,22 @@ def cmd_run(args: argparse.Namespace) -> int:
         "scenario": args.scenario,
         "engine": spec.engine.kind,
         "fingerprint": fingerprint,
+        "env": run_env(),
     }
+    snapshot = telemetry.take_last_run()
+    if snapshot is not None:
+        section = {
+            key: snapshot[key]
+            for key in ("counters", "gauges", "histograms")
+            if key in snapshot
+        }
+        if section:
+            record["run"]["telemetry"] = section
+        if args.telemetry_out:
+            with open(args.telemetry_out, "w", encoding="utf-8") as fh:
+                json.dump(snapshot, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"telemetry snapshot written to {args.telemetry_out}", file=sys.stderr)
     if args.out:
         ResultStore(args.out).append(record)
         print(f"appended 1 record to {args.out}", file=sys.stderr)
@@ -264,6 +290,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"({count} records, sorted by run index, duplicates dropped)",
             file=sys.stderr,
         )
+        rows = shard_skew(args.compact)
+        if rows:
+            walls = [row["wall_s"] for row in rows]
+            slowest = max(rows, key=lambda row: row["wall_s"])
+            retried = sum(row["retried"] for row in rows)
+            print(
+                f"fleet skew over {len(rows)} shard(s): wall min {min(walls):.1f}s / "
+                f"mean {sum(walls) / len(walls):.1f}s / max {max(walls):.1f}s "
+                f"(slowest {slowest['path']}), {retried} retries total",
+                file=sys.stderr,
+            )
+            for row in rows:
+                print(
+                    f"  {row['path']}: {row['completed']}/{row['total']} runs, "
+                    f"{row['wall_s']:.1f}s wall, {row['retried']} retried, "
+                    f"{row['failed']} failed",
+                    file=sys.stderr,
+                )
         return 0
     if not args.scenario:
         raise SystemExit("error: a scenario name is required (unless using --compact)")
@@ -286,7 +330,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     runs = runner.shard_runs()
     out = args.out or f"results/{args.scenario}-sweep.jsonl"
     if args.fresh:
-        for path in (out, manifest_path(out)):
+        for path in (out, manifest_path(out), heartbeat_path(out)):
             if os.path.exists(path):
                 os.remove(path)
     cache = ResultCache(args.cache) if args.cache else None
@@ -297,6 +341,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"jobs={args.jobs}, out={out}",
         file=sys.stderr,
     )
+    print(f"  heartbeat: {heartbeat_path(out)}", file=sys.stderr)
     started = time.perf_counter()
 
     def progress(done: int, total: int, record: Dict[str, Any]) -> None:
@@ -320,13 +365,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
 
-    runner.execute(
-        store=ResultStore(out),
-        progress=progress,
-        cache=cache,
-        stop_after=args.stop_after,
-        collect=False,
-    )
+    with telemetry.forced(True) if args.telemetry else nullcontext():
+        runner.execute(
+            store=ResultStore(out),
+            progress=progress,
+            cache=cache,
+            stop_after=args.stop_after,
+            collect=False,
+        )
     stats = runner.stats
     if args.stop_after is not None and stats.completed < stats.total:
         print(
@@ -336,6 +382,49 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
     else:
         print(f"completed {stats.summary()}, results in {out}", file=sys.stderr)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.telemetry.profile import format_profile, profile_scenario
+
+    factory = get_scenario(args.scenario)
+    params, overrides = _split_overrides(factory, args.set, args.override, args.engine)
+    spec = factory.spec(**params)
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    if args.quick and spec.duration > 10.0:
+        spec = spec.with_overrides(duration=10.0)
+    record, snapshot, pstats_text = profile_scenario(
+        spec, seed=args.seed, cprofile_path=args.cprofile, top=args.top
+    )
+    if record.get("failed"):
+        print(f"error: profiled run failed: {record.get('error')}", file=sys.stderr)
+        return 1
+    print(format_profile(args.scenario, args.seed, spec.engine.kind, snapshot))
+    if pstats_text:
+        print()
+        print(pstats_text.rstrip())
+        print(f"cProfile stats written to {args.cprofile}", file=sys.stderr)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"telemetry snapshot written to {args.json}", file=sys.stderr)
+    return 0
+
+
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.telemetry.export import snapshot_from_source, to_prometheus
+
+    snapshot = snapshot_from_source(args.source)
+    if not snapshot:
+        print(f"no telemetry data found in {args.source}", file=sys.stderr)
+        return 1
+    if args.format == "prom":
+        sys.stdout.write(to_prometheus(snapshot, prefix=args.prefix))
+    else:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
     return 0
 
 
@@ -452,6 +541,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="spec-fingerprint result cache (JSONL): reuse a cached record "
         "instead of simulating, insert fresh results",
     )
+    p_run.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect runtime telemetry; deterministic sections are embedded "
+        "under run.telemetry in the record",
+    )
+    p_run.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        help="write the full telemetry snapshot (incl. wall-clock spans) to "
+        "this JSON file (implies nothing unless --telemetry is set)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_sweep = sub.add_parser(
@@ -519,9 +620,74 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         metavar="SHARD",
         help="merge the given shard JSONL stores into --out (sorted by run "
-        "index, deduplicated) instead of running a sweep",
+        "index, deduplicated) instead of running a sweep, and report "
+        "fleet-level wall/retry skew from the shard manifests",
+    )
+    p_sweep.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="collect runtime telemetry in every run (workers inherit it); "
+        "deterministic sections land under run.telemetry in each record",
     )
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run one scenario with telemetry on and print a phase/category "
+        "breakdown (optionally under cProfile)",
+    )
+    p_profile.add_argument("scenario")
+    p_profile.add_argument("--seed", type=int, default=1)
+    p_profile.add_argument("--set", action="append", default=[], metavar="KEY=VALUE")
+    p_profile.add_argument(
+        "--override", action="append", default=[], metavar="PATH=VALUE", help=override_help
+    )
+    p_profile.add_argument("--engine", default=None, help=engine_help)
+    p_profile.add_argument(
+        "--quick",
+        action="store_true",
+        help="cap the simulated duration at 10 s (CI-sized profile)",
+    )
+    p_profile.add_argument(
+        "--cprofile",
+        metavar="PATH",
+        help="also run under cProfile and dump raw stats to PATH",
+    )
+    p_profile.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="rows in the cProfile table (default 20)",
+    )
+    p_profile.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the full telemetry snapshot to this JSON file",
+    )
+    p_profile.set_defaults(func=cmd_profile)
+
+    p_telemetry = sub.add_parser(
+        "telemetry",
+        help="export telemetry from a snapshot JSON, a record, or a JSONL "
+        "store (merged fleet-wide) as JSON or Prometheus text",
+    )
+    p_telemetry.add_argument(
+        "source",
+        help="snapshot JSON (repro profile --json), a record JSON, or a "
+        "JSONL result store whose run.telemetry sections are merged",
+    )
+    p_telemetry.add_argument(
+        "--format",
+        choices=("json", "prom"),
+        default="json",
+        help="output format (default json; prom = Prometheus text format)",
+    )
+    p_telemetry.add_argument(
+        "--prefix",
+        default="repro",
+        help="metric-name prefix for Prometheus output (default repro)",
+    )
+    p_telemetry.set_defaults(func=cmd_telemetry)
 
     p_report = sub.add_parser(
         "report",

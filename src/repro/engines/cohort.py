@@ -46,6 +46,7 @@ from __future__ import annotations
 import math
 import re
 from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.equations import MAX_LOSS_RATE, MIN_LOSS_RATE
@@ -53,6 +54,7 @@ from repro.core.feedback import BiasMethod
 from repro.core.headers import FeedbackHeader
 from repro.engines.registry import EngineFactory, EngineUnavailableError, register_engine
 from repro.simulator.packet import Packet, PacketType
+from repro.telemetry import active as _telemetry_active
 
 _UNSET = object()
 _np: Any = _UNSET
@@ -270,6 +272,10 @@ class _FlowCohort:
         self.reports_injected = 0
         self.suppressed = 0
         self._feedback_seq = 0
+        # Wall-clock accounting: only accumulated when the run has an open
+        # telemetry scope (captured once here, not checked per step).
+        self.step_wall_s = 0.0
+        self._telem = _telemetry_active()
 
     @staticmethod
     def _reduced_receivers(spec: Any, plan: _CohortPlan) -> Tuple[Any, ...]:
@@ -299,6 +305,16 @@ class _FlowCohort:
     # ----------------------------------------------------------- round step
 
     def _step(self) -> None:
+        if self._telem is not None:
+            start = perf_counter()
+            try:
+                self._step_body()
+            finally:
+                self.step_wall_s += perf_counter() - start
+        else:
+            self._step_body()
+
+    def _step_body(self) -> None:
         np = _numpy()
         now = self.sim.now
         dt = now - self._last_step_time if self._last_step_time is not None else None

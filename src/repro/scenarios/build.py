@@ -16,9 +16,12 @@ runs, and reduces the simulation to a JSON-compatible result record.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.core.config import TFMCCConfig
+from repro.telemetry.collect import collect_run
 from repro.metrics.trace import QueueOccupancyProbe, TraceRecorder, summarise_trace
 from repro.protocols import BuiltFlow, get_protocol
 from repro.scenarios.spec import (
@@ -426,13 +429,26 @@ def run_scenario(
     parameters in ``FlowSpec.params``, e.g. via
     ``spec.with_overrides(**{"flows.0.params.max_rtt": 0.3})``.
     """
-    if config is not None:
-        # The deprecated global-config path predates the engine registry and
-        # only the exact builder understands it.
-        built = build_scenario(spec, seed=seed, config=config, recorder=recorder)
-    else:
-        from repro.engines import get_engine
+    with telemetry.run_scope() as tel:
+        if tel is not None:
+            t0 = perf_counter()
+        if config is not None:
+            # The deprecated global-config path predates the engine registry
+            # and only the exact builder understands it.
+            built = build_scenario(spec, seed=seed, config=config, recorder=recorder)
+        else:
+            from repro.engines import get_engine
 
-        built = get_engine(spec.engine.kind).build(spec, seed=seed, recorder=recorder)
-    built.run()
-    return built.collect()
+            built = get_engine(spec.engine.kind).build(spec, seed=seed, recorder=recorder)
+        if tel is None:
+            built.run()
+            return built.collect()
+        t1 = perf_counter()
+        tel.timing("phase.build", t1 - t0)
+        built.run()
+        t2 = perf_counter()
+        tel.timing("phase.run", t2 - t1)
+        record = built.collect()
+        tel.timing("phase.collect", perf_counter() - t2)
+        collect_run(tel, built)
+        return record

@@ -44,6 +44,7 @@ import hashlib
 import itertools
 import json
 import os
+import platform
 import sys
 import time
 from collections import deque
@@ -64,6 +65,7 @@ from typing import (
     Tuple,
 )
 
+from repro import telemetry
 from repro.scenarios.build import run_scenario
 from repro.scenarios.cache import ResultCache, canonical_json, fingerprint_spec
 from repro.scenarios.registry import get_scenario
@@ -140,6 +142,36 @@ def _resolve_spec_cached(run: "SweepRun") -> ScenarioSpec:
         return run.resolve_spec()
 
 
+#: Environment provenance, computed once per interpreter.
+_RUN_ENV: Optional[Dict[str, Any]] = None
+
+
+def run_env() -> Dict[str, Any]:
+    """Execution-environment provenance stamped under ``run.env``.
+
+    Identifies *where* a record was produced (interpreter, numpy, platform,
+    core count) without participating in the spec fingerprint — so caching,
+    resume validation and compaction identity are unaffected, and records
+    remain byte-identical across worker counts on one machine.
+    """
+    global _RUN_ENV
+    if _RUN_ENV is None:
+        try:
+            import numpy
+
+            numpy_version: Optional[str] = numpy.__version__
+        except ImportError:
+            numpy_version = None
+        _RUN_ENV = {
+            "cpus": os.cpu_count(),
+            "machine": platform.machine(),
+            "numpy": numpy_version,
+            "platform": sys.platform,
+            "python": platform.python_version(),
+        }
+    return dict(_RUN_ENV)
+
+
 def stamp_record(
     record: Dict[str, Any],
     run: SweepRun,
@@ -148,9 +180,10 @@ def stamp_record(
 ) -> Dict[str, Any]:
     """Attach the ``run`` provenance block to a pure simulation record.
 
-    The block is a deterministic function of the run position and the spec,
-    so a record reconstructed from the result cache is byte-identical to a
-    freshly simulated one.
+    Apart from ``env`` (fixed per machine/interpreter) the block is a
+    deterministic function of the run position and the spec, so a record
+    reconstructed from the result cache is byte-identical to a freshly
+    simulated one.
     """
     record["run"] = {
         "index": run.index,
@@ -159,6 +192,7 @@ def stamp_record(
         "scenario": run.scenario if run.scenario is not None else spec.name,
         "engine": spec.engine.kind,
         "fingerprint": fingerprint,
+        "env": run_env(),
     }
     return record
 
@@ -169,24 +203,46 @@ def run_fingerprint(run: SweepRun) -> str:
 
 
 def execute_run(run: SweepRun) -> Dict[str, Any]:
-    """Worker entry point: execute one run and annotate its provenance."""
+    """Worker entry point: execute one run and annotate its provenance.
+
+    When telemetry is enabled (``REPRO_TELEMETRY``, inherited by pool
+    workers) the deterministic sections of the run's telemetry snapshot are
+    embedded under ``run.telemetry`` — the wall-clock spans are deliberately
+    excluded so stores stay byte-identical across serial/parallel/resumed
+    executions even with telemetry on.
+    """
     spec = _resolve_spec_cached(run)
     fingerprint = fingerprint_spec(spec, run.seed)
     record = run_scenario(spec, seed=run.seed)
-    return stamp_record(record, run, spec, fingerprint)
+    record = stamp_record(record, run, spec, fingerprint)
+    snapshot = telemetry.take_last_run()
+    if snapshot is not None:
+        section = {
+            key: snapshot[key]
+            for key in ("counters", "gauges", "histograms")
+            if key in snapshot
+        }
+        if section:
+            record["run"]["telemetry"] = section
+    return record
 
 
-def _pool_execute(run: SweepRun) -> Tuple[int, Optional[Dict[str, Any]], Optional[str]]:
+def _pool_execute(
+    run: SweepRun,
+) -> Tuple[int, Optional[Dict[str, Any]], Optional[str], float]:
     """Pool worker wrapper: never raise, forward failures to the parent.
 
     An exception that escaped into the pool machinery would poison the
-    whole ``imap`` stream; returning ``(index, None, error)`` instead lets
-    the parent retry the one failed run and keep the sweep going.
+    whole ``imap`` stream; returning ``(index, None, error, wall)`` instead
+    lets the parent retry the one failed run and keep the sweep going.  The
+    per-run wall time feeds worker-utilisation accounting.
     """
+    started = time.perf_counter()
     try:
-        return (run.index, execute_run(run), None)
+        record = execute_run(run)
+        return (run.index, record, None, time.perf_counter() - started)
     except Exception as exc:
-        return (run.index, None, f"{type(exc).__name__}: {exc}")
+        return (run.index, None, f"{type(exc).__name__}: {exc}", time.perf_counter() - started)
 
 
 def _failure_record(run: SweepRun, error: str, retries: int) -> Dict[str, Any]:
@@ -208,6 +264,7 @@ def _failure_record(run: SweepRun, error: str, retries: int) -> Dict[str, Any]:
             "engine": None,
             "fingerprint": fingerprint,
             "retries": retries,
+            "env": run_env(),
         },
     }
 
@@ -221,6 +278,43 @@ def manifest_path(store_path: str) -> str:
     if ext != ".jsonl":
         base = store_path
     return base + ".manifest.json"
+
+
+def heartbeat_path(store_path: str) -> str:
+    """Heartbeat stream location for a store: ``X.jsonl`` -> ``X.heartbeat.jsonl``."""
+    base, ext = os.path.splitext(store_path)
+    if ext != ".jsonl":
+        base = store_path
+    return base + ".heartbeat.jsonl"
+
+
+class HeartbeatStream:
+    """Append-only JSONL fleet-health stream written next to the manifest.
+
+    One ``start`` entry per invocation, one ``run`` entry per committed run
+    (emitted *after* the manifest checkpoint, so its ``completed`` count
+    always matches the manifest on disk), and one ``stop`` entry on the way
+    out — flushed line-by-line so an external watcher (or a human with
+    ``tail -f``) can follow a sweep live and a killed sweep still leaves a
+    parseable stream.
+    """
+
+    def __init__(self, path: str):
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self.path = path
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def emit(self, entry: Dict[str, Any]) -> None:
+        payload = {"ts": round(time.time(), 3), **entry}
+        self._fh.write(json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:  # pragma: no cover - close failures are best-effort
+            pass
 
 
 def _compress_indices(indices: Iterable[int]) -> List[List[int]]:
@@ -259,6 +353,11 @@ class SweepManifest:
     shard: Optional[Tuple[int, int]] = None
     completed: Set[int] = field(default_factory=set)
     failed: Dict[int, str] = field(default_factory=dict)
+    #: Cumulative wall-clock seconds this shard has spent across all
+    #: invocations (including interrupted ones) and its total retry count —
+    #: the per-shard skew data ``--compact`` reports fleet-wide.
+    wall_s: float = 0.0
+    retried: int = 0
 
     VERSION = 1
 
@@ -280,6 +379,8 @@ class SweepManifest:
             shard=tuple(shard) if shard else None,
             completed=_expand_indices(data.get("completed", [])),
             failed={int(k): v for k, v in data.get("failed", {}).items()},
+            wall_s=data.get("wall_s", 0.0),
+            retried=data.get("retried", 0),
         )
 
     def save(self) -> None:
@@ -291,6 +392,8 @@ class SweepManifest:
             "shard": list(self.shard) if self.shard else None,
             "completed": _compress_indices(self.completed),
             "failed": {str(k): v for k, v in sorted(self.failed.items())},
+            "wall_s": round(self.wall_s, 3),
+            "retried": self.retried,
         }
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
@@ -318,20 +421,31 @@ class SweepStats:
     executed: int = 0  # actually simulated
     retried: int = 0  # retry attempts (exceptions and pool rebuilds)
     failed: int = 0  # runs terminally recorded as failure entries
+    pool_rebuilds: int = 0  # executors rebuilt after a worker died
     wall_s: float = 0.0
+    busy_s: float = 0.0  # summed per-run wall time across all workers
 
     @property
     def completed(self) -> int:
         return self.resumed + self.cached + self.executed + self.failed
 
+    def utilisation(self, jobs: int) -> float:
+        """Fraction of worker capacity spent simulating (busy / wall x jobs)."""
+        if self.wall_s <= 0.0 or jobs < 1:
+            return 0.0
+        return min(1.0, self.busy_s / (self.wall_s * jobs))
+
     def summary(self) -> str:
         rate = (self.cached + self.executed) / self.wall_s if self.wall_s > 0 else 0.0
-        return (
+        text = (
             f"{self.completed}/{self.total} runs in {self.wall_s:.1f} s "
             f"({self.executed} simulated, {self.cached} cached, "
             f"{self.resumed} resumed, {self.retried} retried, "
             f"{self.failed} failed, {rate:.1f} runs/s)"
         )
+        if self.pool_rebuilds:
+            text += f" [{self.pool_rebuilds} pool rebuilds]"
+        return text
 
 
 class SweepRunner:
@@ -506,16 +620,19 @@ class SweepRunner:
 
     def _serial_results(
         self, runs: Sequence[SweepRun]
-    ) -> Iterator[Tuple[SweepRun, Optional[Dict[str, Any]], Optional[str], bool]]:
+    ) -> Iterator[Tuple[SweepRun, Optional[Dict[str, Any]], Optional[str], bool, float]]:
         for run in runs:
+            started = time.perf_counter()
             try:
-                yield run, execute_run(run), None, True
+                record = execute_run(run)
+                yield run, record, None, True, time.perf_counter() - started
             except Exception as exc:
-                yield run, None, f"{type(exc).__name__}: {exc}", True
+                error = f"{type(exc).__name__}: {exc}"
+                yield run, None, error, True, time.perf_counter() - started
 
     def _pool_results(
         self, runs: Sequence[SweepRun]
-    ) -> Iterator[Tuple[SweepRun, Optional[Dict[str, Any]], Optional[str], bool]]:
+    ) -> Iterator[Tuple[SweepRun, Optional[Dict[str, Any]], Optional[str], bool, float]]:
         """Yield results in run order from a fault-tolerant worker pool.
 
         Futures are submitted through a bounded window (the input list can
@@ -541,9 +658,10 @@ class SweepRunner:
                         submitted += 1
                     run, future = window.popleft()
                     try:
-                        _index, record, error = future.result()
+                        _index, record, error, wall = future.result()
                     except BrokenProcessPool:
                         self.stats.retried += 1
+                        self.stats.pool_rebuilds += 1
                         blame[run.index] = blame.get(run.index, 0) + 1
                         survivors = [run] + [r for r, _f in window] + pending[submitted:]
                         if blame[run.index] > self.max_retries:
@@ -552,11 +670,11 @@ class SweepRunner:
                             yield run, None, (
                                 "worker process died while executing this run "
                                 f"({blame[run.index]} attempts)"
-                            ), False
+                            ), False, 0.0
                             survivors = survivors[1:]
                         pending = survivors
                         break  # rebuild the executor over the survivors
-                    yield run, record, error, True
+                    yield run, record, error, True, wall
                 else:
                     pending = []
             finally:
@@ -597,7 +715,10 @@ class SweepRunner:
         started = time.perf_counter()
 
         manifest: Optional[SweepManifest] = None
+        heartbeat: Optional[HeartbeatStream] = None
         completed: Set[int] = set()
+        base_wall = 0.0
+        base_retried = 0
         if store is not None:
             mpath = manifest_path(store.path)
             sweep_fp = self.fingerprint()
@@ -608,6 +729,12 @@ class SweepRunner:
                     f"(manifest {mpath!r} fingerprint mismatch); use a "
                     "different --out or remove the old store to start fresh"
                 )
+            if existing is not None:
+                # Wall/retry accounting accumulates across invocations so
+                # the manifest reflects the shard's total cost, not just
+                # the final resume.
+                base_wall = existing.wall_s
+                base_retried = existing.retried
             if resume and os.path.exists(store.path):
                 completed = self._validate_store(store, runs)
             manifest = SweepManifest(
@@ -617,9 +744,24 @@ class SweepRunner:
                 sweep_total=len(self.runs()) if self.shard else len(runs),
                 shard=self.shard,
                 completed=set(completed),
+                wall_s=base_wall,
+                retried=base_retried,
             )
             stats.resumed = len(completed)
             manifest.save()
+            heartbeat = HeartbeatStream(heartbeat_path(store.path))
+            heartbeat.emit(
+                {
+                    "event": "start",
+                    "sweep_fingerprint": sweep_fp,
+                    "total": len(runs),
+                    "resumed": stats.resumed,
+                    "jobs": self.jobs,
+                    "shard": list(self.shard) if self.shard else None,
+                    "cache": cache is not None,
+                    "telemetry": telemetry.enabled(),
+                }
+            )
 
         pending = [r for r in runs if r.index not in completed]
 
@@ -652,36 +794,62 @@ class SweepRunner:
                 if run.index in hits:
                     record = hits.pop(run.index)
                     stats.cached += 1
+                    status = "cached"
+                    wall = 0.0
                 else:
-                    _r, record, error, retriable = next(results)
+                    _r, record, error, retriable, wall = next(results)
                     if error is not None and retriable:
                         for _attempt in range(self.max_retries):
                             stats.retried += 1
+                            retry_started = time.perf_counter()
                             try:
                                 record = execute_run(run)
                                 error = None
-                                break
                             except Exception as exc:
                                 error = f"{type(exc).__name__}: {exc}"
+                            wall += time.perf_counter() - retry_started
+                            if error is None:
+                                break
                     if error is not None:
                         record = _failure_record(run, error, self.max_retries)
                         stats.failed += 1
+                        status = "failed"
                         if manifest is not None:
                             manifest.failed[run.index] = error
                     else:
                         stats.executed += 1
+                        status = "executed"
                         if cache is not None:
                             fp = record["run"].get("fingerprint")
                             if fp is not None:
                                 cache.put(fp, record)
+                stats.busy_s += wall
                 if collect:
                     records.append(record)
                 if append is not None:
                     append(record)
                 if manifest is not None:
                     manifest.completed.add(run.index)
+                    manifest.wall_s = base_wall + (time.perf_counter() - started)
+                    manifest.retried = base_retried + stats.retried
                     manifest.save()
                 committed_now += 1
+                if heartbeat is not None:
+                    heartbeat.emit(
+                        {
+                            "event": "run",
+                            "index": run.index,
+                            "seed": run.seed,
+                            "status": status,
+                            "wall_s": round(wall, 6),
+                            "completed": len(manifest.completed),
+                            "total": len(runs),
+                            "executed": stats.executed,
+                            "cached": stats.cached,
+                            "failed": stats.failed,
+                            "retried": stats.retried,
+                        }
+                    )
                 if progress is not None:
                     progress(stats.resumed + committed_now, len(runs), record)
                 if stop_after is not None and committed_now >= stop_after:
@@ -694,6 +862,28 @@ class SweepRunner:
             # executor down via its own finally clause; a no-op otherwise.
             results.close()
             stats.wall_s = time.perf_counter() - started
+            if manifest is not None:
+                manifest.wall_s = base_wall + stats.wall_s
+                manifest.retried = base_retried + stats.retried
+                manifest.save()
+            if heartbeat is not None:
+                heartbeat.emit(
+                    {
+                        "event": "stop",
+                        "completed": len(manifest.completed),
+                        "total": len(runs),
+                        "stopped_early": stopped_early,
+                        "executed": stats.executed,
+                        "cached": stats.cached,
+                        "failed": stats.failed,
+                        "retried": stats.retried,
+                        "pool_rebuilds": stats.pool_rebuilds,
+                        "wall_s": round(stats.wall_s, 3),
+                        "busy_s": round(stats.busy_s, 3),
+                        "utilisation": round(stats.utilisation(self.jobs), 4),
+                    }
+                )
+                heartbeat.close()
 
         if collect and store is not None and (stats.resumed or stopped_early):
             # The caller wants the complete picture in run order, part of
@@ -761,9 +951,37 @@ def compact_stores(
             failed={
                 k: v for m in manifests for k, v in m.failed.items()  # type: ignore[union-attr]
             },
+            wall_s=sum(m.wall_s for m in manifests),  # type: ignore[union-attr]
+            retried=sum(m.retried for m in manifests),  # type: ignore[union-attr]
         )
         combined.save()
     return count
+
+
+def shard_skew(shard_paths: Sequence[str]) -> List[Dict[str, Any]]:
+    """Per-shard wall/retry/completion figures for fleet-skew reporting.
+
+    Reads each shard's manifest (shards without one are skipped) and
+    returns one row per shard; ``--compact`` renders these as the
+    fleet-level skew summary.
+    """
+    rows: List[Dict[str, Any]] = []
+    for path in shard_paths:
+        manifest = SweepManifest.load(manifest_path(path))
+        if manifest is None:
+            continue
+        rows.append(
+            {
+                "path": path,
+                "shard": list(manifest.shard) if manifest.shard else None,
+                "completed": len(manifest.completed),
+                "total": manifest.total,
+                "failed": len(manifest.failed),
+                "retried": manifest.retried,
+                "wall_s": manifest.wall_s,
+            }
+        )
+    return rows
 
 
 def sweep(
@@ -794,6 +1012,15 @@ def sweep(
     store = ResultStore(out) if out is not None else None
     result_cache = ResultCache(cache) if cache is not None else None
     started = time.perf_counter()
+
+    # All progress/diagnostic output goes to stderr: stdout is reserved for
+    # record/summary data so `repro sweep ... | jq` style pipelines work.
+    if verbose and out is not None:
+        print(
+            f"sweep -> {out} (manifest {manifest_path(out)}, "
+            f"heartbeat {heartbeat_path(out)})",
+            file=sys.stderr,
+        )
 
     def progress(done: int, total: int, record: Dict[str, Any]) -> None:
         if verbose:

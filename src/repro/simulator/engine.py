@@ -36,11 +36,35 @@ from __future__ import annotations
 
 import random
 from heapq import heapify, heappop, heappush
-from typing import Any, Callable, List, Optional, Tuple
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.telemetry import active as _telemetry_active
 
 #: Minimum number of live cancelled heap entries before compaction is
 #: considered; below this the dead tuples are cheaper than a rebuild.
 _COMPACT_MIN_DEAD = 64
+
+#: Memoised callback -> event-category name map shared by instrumented runs.
+#: Bounded defensively: scenario callbacks are a small fixed set of bound
+#: methods, but ad-hoc lambdas in tests could otherwise grow it forever.
+_CATEGORY_MEMO: Dict[Any, str] = {}
+_CATEGORY_MEMO_MAX = 4096
+
+
+def _category_name(func: Any) -> str:
+    """Stable display name (``module.Class.method``) for an event callback."""
+    name = _CATEGORY_MEMO.get(func)
+    if name is None:
+        module = getattr(func, "__module__", "") or ""
+        qual = getattr(func, "__qualname__", None) or getattr(func, "__name__", None)
+        if qual is None:  # pragma: no cover - exotic callables only
+            qual = type(func).__name__
+        name = f"{module.rsplit('.', 1)[-1]}.{qual}" if module else str(qual)
+        if len(_CATEGORY_MEMO) >= _CATEGORY_MEMO_MAX:
+            _CATEGORY_MEMO.clear()
+        _CATEGORY_MEMO[func] = name
+    return name
 
 
 class SimulationError(RuntimeError):
@@ -120,6 +144,15 @@ class Simulator:
         self._name_counters: dict = {}
         self.rng = random.Random(seed)
         self.events_processed = 0
+        #: Always-on cheap health counters (a couple of int ops on rare or
+        #: already-branchy paths; the telemetry layer reads them post-run).
+        self.compactions = 0
+        self.reschedule_fast_hits = 0
+        #: Telemetry sink captured at construction time: the per-run scope
+        #: opened by ``run_scenario`` when ``REPRO_TELEMETRY`` is set, else
+        #: None.  ``run()`` keeps the original uninstrumented loop whenever
+        #: this is None, so the disabled cost is one check per run() call.
+        self.telemetry = _telemetry_active()
 
     # ------------------------------------------------------------ identifiers
 
@@ -187,6 +220,7 @@ class Simulator:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
         if handle is not None:
             if handle.fired and not handle.cancelled:
+                self.reschedule_fast_hits += 1
                 time = self.now + delay
                 seq = self._seq
                 self._seq = seq + 1
@@ -224,6 +258,7 @@ class Simulator:
         self._queue = [entry for entry in self._queue if not entry[2].cancelled]
         heapify(self._queue)
         self._dead = 0
+        self.compactions += 1
 
     def peek(self) -> Optional[float]:
         """Return the time of the next pending event, or None if empty."""
@@ -254,6 +289,8 @@ class Simulator:
         float
             The simulation time when the loop stopped.
         """
+        if self.telemetry is not None:
+            return self._run_instrumented(until, max_events)
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
@@ -301,4 +338,77 @@ class Simulator:
         finally:
             self._running = False
             self.events_processed += processed
+        return self.now
+
+    def _run_instrumented(self, until: Optional[float], max_events: Optional[int]) -> float:
+        """Telemetry-enabled twin of :meth:`run`.
+
+        Kept in lockstep with the plain loop above: identical pop order,
+        ``until``/``max_events``/``stop()`` semantics and ``now`` advancement.
+        The only additions are pure reads — per-callback event counts,
+        same-timestamp batch sizes, heap peak and wall-clock accounting —
+        so an instrumented run produces byte-identical records.
+        """
+        tel = self.telemetry
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        pop = heappop
+        queue = self._queue
+        limit = max_events if max_events is not None else float("inf")
+        processed = 0
+        counts: Dict[Any, int] = {}
+        heap_peak = len(queue)
+        start_now = self.now
+        wall_start = perf_counter()
+        try:
+            while queue and not self._stopped:
+                if len(queue) > heap_peak:
+                    heap_peak = len(queue)
+                time, _seq, handle = queue[0]
+                if handle.cancelled:
+                    pop(queue)
+                    self._dead -= 1
+                    continue
+                if until is not None and time >= until:
+                    self.now = until
+                    break
+                self.now = time
+                batch = 0
+                while True:
+                    pop(queue)
+                    handle.fired = True
+                    callback = handle.callback
+                    func = getattr(callback, "__func__", callback)
+                    counts[func] = counts.get(func, 0) + 1
+                    callback(*handle.args)
+                    processed += 1
+                    batch += 1
+                    queue = self._queue
+                    if processed >= limit or self._stopped:
+                        break
+                    while queue and queue[0][2].cancelled:
+                        pop(queue)
+                        self._dead -= 1
+                    if not queue or queue[0][0] != time:
+                        break
+                    handle = queue[0][2]
+                tel.observe("engine.batch_size", batch)
+                if processed >= limit:
+                    break
+            else:
+                if until is not None and not self._stopped:
+                    self.now = max(self.now, until)
+        finally:
+            self._running = False
+            self.events_processed += processed
+            wall = perf_counter() - wall_start
+            for func, n in counts.items():
+                tel.inc("engine.events", n, category=_category_name(func))
+            tel.gauge_max("engine.heap_peak", heap_peak)
+            tel.timing("engine.run", wall)
+            sim_elapsed = self.now - start_now
+            if sim_elapsed > 0:
+                tel.timing("engine.wall_per_sim_s", wall / sim_elapsed)
         return self.now

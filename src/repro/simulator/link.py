@@ -213,6 +213,12 @@ class Link:
         return len(self.queue)
 
     @property
+    def queue_peak(self) -> int:
+        """Peak queue occupancy seen at enqueue time (0 for custom queues
+        that do not track it)."""
+        return getattr(self.queue, "peak", 0)
+
+    @property
     def busy(self) -> bool:
         return self._busy
 

@@ -21,6 +21,11 @@ class QueueFull(Exception):
 class PacketQueue:
     """Interface for link queues."""
 
+    #: Peak occupancy observed at enqueue time (telemetry; always-on, one
+    #: compare per accepted packet).  Class-level default so third-party
+    #: queues that never track it still read as 0.
+    peak = 0
+
     def enqueue(self, packet: Packet, now: float) -> bool:
         """Try to enqueue ``packet``.  Returns False if the packet is dropped."""
         raise NotImplementedError
@@ -46,7 +51,7 @@ class DropTailQueue(PacketQueue):
         Maximum number of queued packets (excluding the one in transmission).
     """
 
-    __slots__ = ("limit", "_queue", "_drops", "enqueued")
+    __slots__ = ("limit", "_queue", "_drops", "enqueued", "peak")
 
     def __init__(self, limit: int = 50):
         if limit < 1:
@@ -55,6 +60,7 @@ class DropTailQueue(PacketQueue):
         self._queue: Deque[Packet] = deque()
         self._drops = 0
         self.enqueued = 0
+        self.peak = 0
 
     def enqueue(self, packet: Packet, now: float) -> bool:
         if len(self._queue) >= self.limit:
@@ -62,6 +68,8 @@ class DropTailQueue(PacketQueue):
             return False
         self._queue.append(packet)
         self.enqueued += 1
+        if len(self._queue) > self.peak:
+            self.peak = len(self._queue)
         return True
 
     def dequeue(self) -> Optional[Packet]:
@@ -87,7 +95,7 @@ class REDQueue(PacketQueue):
 
     __slots__ = (
         "limit", "min_th", "max_th", "max_p", "weight", "_queue", "_drops",
-        "_avg", "_count_since_drop", "_idle_since", "enqueued", "_rng",
+        "_avg", "_count_since_drop", "_idle_since", "enqueued", "_rng", "peak",
     )
 
     def __init__(
@@ -115,6 +123,7 @@ class REDQueue(PacketQueue):
         self._count_since_drop = -1
         self._idle_since: Optional[float] = 0.0
         self.enqueued = 0
+        self.peak = 0
         # RNG is injected by the owning Link so seeding stays centralised.
         self._rng = None
 
@@ -171,6 +180,8 @@ class REDQueue(PacketQueue):
             self._count_since_drop = -1
         self._queue.append(packet)
         self.enqueued += 1
+        if len(self._queue) > self.peak:
+            self.peak = len(self._queue)
         return True
 
     def dequeue(self) -> Optional[Packet]:

@@ -1,0 +1,129 @@
+"""Low-overhead runtime telemetry, off by default.
+
+Enablement is controlled by the ``REPRO_TELEMETRY`` environment variable so
+that it propagates automatically into multiprocessing pool workers under
+both fork and spawn start methods.  When disabled (the default) the hot
+paths pay at most a single ``is None`` check per call site: the simulator
+keeps its original run loop, and no :class:`~repro.telemetry.core.Telemetry`
+object exists.
+
+Usage::
+
+    from repro import telemetry
+
+    with telemetry.forced(True):      # or REPRO_TELEMETRY=1 in the env
+        record = run_scenario(spec, seed=7)
+    snap = telemetry.take_last_run()  # full snapshot incl. wall-clock spans
+
+``run_scenario`` opens a :func:`run_scope` around each simulation; inside
+the scope :func:`active` returns the scope's :class:`Telemetry` sink (and
+``None`` otherwise), which is how the simulator, queues and cohort engine
+discover whether to instrument themselves.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+from repro.telemetry.core import (
+    BUCKET_BOUNDS,
+    Telemetry,
+    counters_by_name,
+    format_key,
+    merge_snapshots,
+    split_key,
+)
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "ENV_VAR",
+    "Telemetry",
+    "active",
+    "counters_by_name",
+    "enable",
+    "disable",
+    "enabled",
+    "forced",
+    "format_key",
+    "merge_snapshots",
+    "run_scope",
+    "split_key",
+    "take_last_run",
+]
+
+#: Environment variable gating telemetry; inherited by pool workers.
+ENV_VAR = "REPRO_TELEMETRY"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+#: The Telemetry sink of the innermost open run scope, or None.
+_active: Optional[Telemetry] = None
+
+#: Full snapshot of the most recently completed run scope, or None.
+_last_run: Optional[Dict[str, Any]] = None
+
+
+def enabled() -> bool:
+    """True when telemetry collection is switched on for this process."""
+    return os.environ.get(ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def enable() -> None:
+    """Switch telemetry on process-wide (and for future pool workers)."""
+    os.environ[ENV_VAR] = "1"
+
+
+def disable() -> None:
+    """Switch telemetry off (the default state)."""
+    os.environ.pop(ENV_VAR, None)
+
+
+@contextmanager
+def forced(on: bool = True) -> Iterator[None]:
+    """Temporarily force telemetry on/off, restoring the prior state."""
+    prev = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = "1" if on else "0"
+    try:
+        yield
+    finally:
+        if prev is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = prev
+
+
+def active() -> Optional[Telemetry]:
+    """The sink of the innermost open run scope, or None when disabled."""
+    return _active
+
+
+@contextmanager
+def run_scope() -> Iterator[Optional[Telemetry]]:
+    """Open a per-run collection scope.
+
+    Yields a fresh :class:`Telemetry` when telemetry is enabled (making it
+    visible to :func:`active` for the duration) or ``None`` when disabled.
+    On exit the full snapshot is stashed for :func:`take_last_run`.
+    """
+    global _active, _last_run
+    if not enabled():
+        yield None
+        return
+    prev = _active
+    tel = Telemetry()
+    _active = tel
+    try:
+        yield tel
+    finally:
+        _active = prev
+        _last_run = tel.snapshot()
+
+
+def take_last_run() -> Optional[Dict[str, Any]]:
+    """Pop the snapshot of the most recently completed run scope."""
+    global _last_run
+    snap = _last_run
+    _last_run = None
+    return snap

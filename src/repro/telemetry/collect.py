@@ -1,0 +1,51 @@
+"""Post-run collection of simulator/network/engine state into a Telemetry sink.
+
+Everything here is a pure read of counters the simulation already maintains
+(always-on engine health counters, link/queue statistics, cohort step
+accounting), executed once after the run — so it adds nothing to the hot
+path and cannot perturb the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.telemetry.core import Telemetry
+
+
+def collect_run(tel: Telemetry, built: Any) -> None:
+    """Fold post-run state of a built scenario into ``tel``.
+
+    ``built`` is any BuiltScenario-shaped object (the cohort engine's
+    duck-typed wrapper included): only ``sim``, ``network`` and the optional
+    ``cohorts`` attribute are touched.
+    """
+    sim = built.sim
+    tel.inc("engine.events_total", sim.events_processed)
+    tel.inc("engine.compactions", sim.compactions)
+    tel.inc("engine.reschedule_fast_hits", sim.reschedule_fast_hits)
+    tel.gauge_max("engine.sim_time", sim.now)
+
+    network = getattr(built, "network", None)
+    links = getattr(network, "links", None) or []
+    if links:
+        queue_drops = sum(link.queue_drops for link in links)
+        random_drops = sum(link.random_drops for link in links)
+        down_drops = sum(link.down_drops for link in links)
+        tel.inc("link.drops", queue_drops, cause="queue")
+        tel.inc("link.drops", random_drops, cause="random")
+        tel.inc("link.drops", down_drops, cause="down")
+        tel.inc("link.packets_sent", sum(link.packets_sent for link in links))
+        tel.inc("link.bytes_sent", sum(link.bytes_sent for link in links))
+        tel.gauge_max("queue.peak", max(link.queue_peak for link in links))
+        for link in links:
+            tel.observe("queue.peak_per_link", link.queue_peak)
+
+    for cohort in getattr(built, "cohorts", None) or []:
+        tel.inc("cohort.steps", cohort.steps)
+        tel.inc("cohort.reports_injected", cohort.reports_injected)
+        tel.inc("cohort.suppressed", cohort.suppressed)
+        tel.gauge_max("cohort.receivers", cohort.n)
+        step_wall = getattr(cohort, "step_wall_s", 0.0)
+        if cohort.steps and step_wall:
+            tel.timing("cohort.step", step_wall, count=cohort.steps)

@@ -1,0 +1,236 @@
+"""Telemetry primitives: counters, gauges, histograms and span timers.
+
+A :class:`Telemetry` instance is a plain in-process metric sink.  It is
+deliberately dependency-free and allocation-light: metrics live in flat
+dicts keyed by ``name{label=value,...}`` strings (labels sorted, so the
+same logical series always maps to the same key), histograms use
+power-of-two buckets, and nothing is computed until :meth:`snapshot`.
+
+Two snapshot flavours exist:
+
+``snapshot()``
+    Everything, including wall-clock span timings.  Used by the heartbeat
+    stream, ``repro profile`` and ``repro telemetry``.
+``record_section()``
+    Only the deterministic sections (counters / gauges / histograms).
+    This is what gets embedded under ``run.telemetry`` in result records,
+    so stores stay byte-identical across machines, worker counts and
+    resume patterns even with telemetry enabled.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Upper bounds of the histogram buckets (powers of two); observations above
+#: the last bound land in the ``+Inf`` overflow bucket.
+BUCKET_BOUNDS: Tuple[int, ...] = tuple(2 ** i for i in range(17))  # 1 .. 65536
+
+_KEY_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+
+
+def format_key(name: str, labels: Optional[Mapping[str, Any]] = None) -> str:
+    """Build the flat series key ``name`` or ``name{k=v,...}`` (labels sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def split_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`format_key`: return ``(name, labels)``."""
+    match = _KEY_RE.match(key)
+    if match is None:  # pragma: no cover - keys are always produced by format_key
+        return key, {}
+    name = match.group("name")
+    raw = match.group("labels")
+    if not raw:
+        return name, {}
+    labels: Dict[str, str] = {}
+    for part in raw.split(","):
+        k, _, v = part.partition("=")
+        labels[k] = v
+    return name, labels
+
+
+class Telemetry:
+    """In-process metric sink for one scope (typically one scenario run)."""
+
+    __slots__ = ("counters", "gauges", "_histograms", "spans")
+
+    def __init__(self) -> None:
+        #: key -> cumulative count (int or float).
+        self.counters: Dict[str, Any] = {}
+        #: key -> last/max value depending on how it was set.
+        self.gauges: Dict[str, Any] = {}
+        #: key -> [count, sum, min, max, bucket-counts list].
+        self._histograms: Dict[str, list] = {}
+        #: key -> [count, total_s, max_s] wall-clock aggregates.
+        self.spans: Dict[str, list] = {}
+
+    # ------------------------------------------------------------ counters
+
+    def inc(self, name: str, value: float = 1, **labels: Any) -> None:
+        key = format_key(name, labels)
+        self.counters[key] = self.counters.get(key, 0) + value
+
+    # ------------------------------------------------------------ gauges
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        self.gauges[format_key(name, labels)] = value
+
+    def gauge_max(self, name: str, value: float, **labels: Any) -> None:
+        key = format_key(name, labels)
+        prev = self.gauges.get(key)
+        if prev is None or value > prev:
+            self.gauges[key] = value
+
+    # ------------------------------------------------------------ histograms
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        key = format_key(name, labels)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = [0, 0, value, value, [0] * (len(BUCKET_BOUNDS) + 1)]
+            self._histograms[key] = hist
+        hist[0] += 1
+        hist[1] += value
+        if value < hist[2]:
+            hist[2] = value
+        if value > hist[3]:
+            hist[3] = value
+        buckets = hist[4]
+        for i, bound in enumerate(BUCKET_BOUNDS):
+            if value <= bound:
+                buckets[i] += 1
+                break
+        else:
+            buckets[-1] += 1
+
+    # ------------------------------------------------------------ spans
+
+    def timing(self, name: str, total_s: float, count: int = 1, **labels: Any) -> None:
+        """Record ``count`` span executions totalling ``total_s`` wall seconds."""
+        key = format_key(name, labels)
+        span = self.spans.get(key)
+        if span is None:
+            self.spans[key] = [count, total_s, total_s]
+        else:
+            span[0] += count
+            span[1] += total_s
+            if total_s > span[2]:
+                span[2] = total_s
+
+    # ------------------------------------------------------------ snapshots
+
+    def _histogram_snapshot(self) -> Dict[str, dict]:
+        out: Dict[str, dict] = {}
+        for key in sorted(self._histograms):
+            count, total, lo, hi, buckets = self._histograms[key]
+            bucket_map: Dict[str, int] = {}
+            for i, n in enumerate(buckets):
+                if n:
+                    label = str(BUCKET_BOUNDS[i]) if i < len(BUCKET_BOUNDS) else "+Inf"
+                    bucket_map[label] = n
+            out[key] = {
+                "count": count,
+                "sum": total,
+                "min": lo,
+                "max": hi,
+                "buckets": bucket_map,
+            }
+        return out
+
+    def record_section(self) -> Dict[str, Any]:
+        """Deterministic subset embedded under ``run.telemetry`` in records."""
+        section: Dict[str, Any] = {}
+        if self.counters:
+            section["counters"] = {k: self.counters[k] for k in sorted(self.counters)}
+        if self.gauges:
+            section["gauges"] = {k: self.gauges[k] for k in sorted(self.gauges)}
+        if self._histograms:
+            section["histograms"] = self._histogram_snapshot()
+        return section
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Full snapshot including wall-clock spans (non-deterministic)."""
+        snap = self.record_section()
+        if self.spans:
+            snap["spans"] = {
+                k: {
+                    "count": self.spans[k][0],
+                    "total_s": self.spans[k][1],
+                    "max_s": self.spans[k][2],
+                }
+                for k in sorted(self.spans)
+            }
+        return snap
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Aggregate snapshots (or ``run.telemetry`` sections) from many runs.
+
+    Counters and histogram counts/sums add, gauges keep the max (they record
+    peaks), span counts/totals add with the max of maxima.
+    """
+    counters: Dict[str, Any] = {}
+    gauges: Dict[str, Any] = {}
+    histograms: Dict[str, dict] = {}
+    spans: Dict[str, dict] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for key, value in snap.get("counters", {}).items():
+            counters[key] = counters.get(key, 0) + value
+        for key, value in snap.get("gauges", {}).items():
+            prev = gauges.get(key)
+            if prev is None or value > prev:
+                gauges[key] = value
+        for key, hist in snap.get("histograms", {}).items():
+            agg = histograms.get(key)
+            if agg is None:
+                histograms[key] = {
+                    "count": hist["count"],
+                    "sum": hist["sum"],
+                    "min": hist["min"],
+                    "max": hist["max"],
+                    "buckets": dict(hist.get("buckets", {})),
+                }
+            else:
+                agg["count"] += hist["count"]
+                agg["sum"] += hist["sum"]
+                agg["min"] = min(agg["min"], hist["min"])
+                agg["max"] = max(agg["max"], hist["max"])
+                for label, n in hist.get("buckets", {}).items():
+                    agg["buckets"][label] = agg["buckets"].get(label, 0) + n
+        for key, span in snap.get("spans", {}).items():
+            agg = spans.get(key)
+            if agg is None:
+                spans[key] = dict(span)
+            else:
+                agg["count"] += span["count"]
+                agg["total_s"] += span["total_s"]
+                agg["max_s"] = max(agg["max_s"], span["max_s"])
+    merged: Dict[str, Any] = {}
+    if counters:
+        merged["counters"] = {k: counters[k] for k in sorted(counters)}
+    if gauges:
+        merged["gauges"] = {k: gauges[k] for k in sorted(gauges)}
+    if histograms:
+        merged["histograms"] = {k: histograms[k] for k in sorted(histograms)}
+    if spans:
+        merged["spans"] = {k: spans[k] for k in sorted(spans)}
+    return merged
+
+
+def counters_by_name(
+    snapshot: Mapping[str, Any], name: str
+) -> List[Tuple[Dict[str, str], Any]]:
+    """Return ``(labels, value)`` pairs for every counter series of ``name``."""
+    out: List[Tuple[Dict[str, str], Any]] = []
+    for key, value in snapshot.get("counters", {}).items():
+        base, labels = split_key(key)
+        if base == name:
+            out.append((labels, value))
+    return out

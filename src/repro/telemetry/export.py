@@ -1,0 +1,114 @@
+"""Export telemetry snapshots as JSON or Prometheus text format.
+
+Sources accepted by :func:`snapshot_from_source`:
+
+* a snapshot JSON file (as written by ``repro profile --json`` or
+  ``repro run --telemetry-out``);
+* a result-record JSON file (the ``run.telemetry`` section is extracted);
+* a JSONL result store — every record's ``run.telemetry`` section is
+  merged into one fleet-level snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.telemetry.core import BUCKET_BOUNDS, merge_snapshots, split_key
+
+_SECTIONS = ("counters", "gauges", "histograms", "spans")
+
+_NAME_SANITISE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_SANITISE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def snapshot_from_source(path: str) -> Dict[str, Any]:
+    """Load a merged snapshot from a snapshot/record/store file (see module doc)."""
+    if path.endswith(".jsonl"):
+        sections: List[Mapping[str, Any]] = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                section = record.get("run", {}).get("telemetry")
+                if section:
+                    sections.append(section)
+        return merge_snapshots(sections)
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if any(key in data for key in _SECTIONS):
+        return data
+    section = data.get("run", {}).get("telemetry")
+    if section:
+        return section
+    return {}
+
+
+def _metric_name(key: str, prefix: str) -> Tuple[str, str]:
+    name, labels = split_key(key)
+    metric = _NAME_SANITISE.sub("_", f"{prefix}_{name}" if prefix else name)
+    if not labels:
+        return metric, ""
+    inner = ",".join(
+        f'{_LABEL_SANITISE.sub("_", k)}="{v}"' for k, v in sorted(labels.items())
+    )
+    return metric, "{" + inner + "}"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def to_prometheus(snapshot: Mapping[str, Any], prefix: str = "repro") -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+
+    typed: Dict[str, str] = {}
+
+    def emit(metric: str, kind: str, labels: str, value: Any) -> None:
+        if metric not in typed:
+            lines.append(f"# TYPE {metric} {kind}")
+            typed[metric] = kind
+        lines.append(f"{metric}{labels} {_fmt(value)}")
+
+    for key in sorted(snapshot.get("counters", {})):
+        metric, labels = _metric_name(key, prefix)
+        emit(metric + "_total", "counter", labels, snapshot["counters"][key])
+
+    for key in sorted(snapshot.get("gauges", {})):
+        metric, labels = _metric_name(key, prefix)
+        emit(metric, "gauge", labels, snapshot["gauges"][key])
+
+    for key in sorted(snapshot.get("histograms", {})):
+        metric, labels = _metric_name(key, prefix)
+        hist = snapshot["histograms"][key]
+        buckets = hist.get("buckets", {})
+        base = labels[1:-1] if labels else ""
+        cumulative = 0
+        if metric not in typed:
+            lines.append(f"# TYPE {metric} histogram")
+            typed[metric] = "histogram"
+        for bound in BUCKET_BOUNDS:
+            bound_key = str(bound)
+            cumulative += buckets.get(bound_key, 0)
+            le = ",".join(filter(None, [base, f'le="{bound}"']))
+            lines.append(f"{metric}_bucket{{{le}}} {cumulative}")
+        cumulative += buckets.get("+Inf", 0)
+        le = ",".join(filter(None, [base, 'le="+Inf"']))
+        lines.append(f"{metric}_bucket{{{le}}} {cumulative}")
+        lines.append(f"{metric}_sum{labels} {_fmt(hist['sum'])}")
+        lines.append(f"{metric}_count{labels} {_fmt(hist['count'])}")
+
+    for key in sorted(snapshot.get("spans", {})):
+        metric, labels = _metric_name(key, prefix)
+        span = snapshot["spans"][key]
+        emit(metric + "_seconds_count", "counter", labels, span["count"])
+        emit(metric + "_seconds_sum", "counter", labels, span["total_s"])
+        emit(metric + "_seconds_max", "gauge", labels, span["max_s"])
+
+    return "\n".join(lines) + ("\n" if lines else "")
