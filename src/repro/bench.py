@@ -22,6 +22,11 @@ Workloads
     Macro: the receiver-count scaling step with 200 TFMCC receivers behind
     one bottleneck (the Figure 7/17 regime).  Dominated by multicast fan-out
     and per-receiver protocol work; also measures topology build time.
+``wireless_200``
+    Macro: the wireless last-hop scenario scaled to 200 receivers, every
+    leaf behind an ``snr_per`` channel — prices the per-packet channel
+    seam (``ChannelModel.should_drop``) and the per-cause drop accounting
+    against the plain ``scaling_200`` fan-out.
 ``sweep_resume``
     Orchestration: a cold sweep through the ``SweepRunner`` (streaming
     store + manifest + result-cache inserts) followed by a warm re-run of
@@ -179,6 +184,18 @@ def _bench_scaling_10k_cohort(quick: bool) -> Dict[str, Any]:
     )
 
 
+def _bench_wireless_200(quick: bool) -> Dict[str, Any]:
+    # Same receiver count as scaling_200, but every leaf runs the snr_per
+    # channel model: the delta between the two workloads is the cost of
+    # the channel seam on the per-packet hot path.
+    return _scenario_workload(
+        "wireless_last_hop",
+        seed=1,
+        duration=4.0 if quick else 30.0,
+        num_receivers=200,
+    )
+
+
 def _bench_sweep_resume(quick: bool) -> Dict[str, Any]:
     """Cold sweep vs warm cached re-run of the identical grid.
 
@@ -238,6 +255,7 @@ WORKLOADS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "dumbbell_fairness": _bench_dumbbell_fairness,
     "scaling_200": _bench_scaling_200,
     "scaling_10k_cohort": _bench_scaling_10k_cohort,
+    "wireless_200": _bench_wireless_200,
     "sweep_resume": _bench_sweep_resume,
 }
 

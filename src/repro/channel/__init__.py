@@ -1,0 +1,81 @@
+"""Pluggable channel models: the loss layer between a link and its packets.
+
+Public surface:
+
+* :class:`~repro.channel.models.ChannelModel` — the ``should_drop(rng, now,
+  packet)`` seam every link consults,
+* the four built-in models (:class:`BernoulliChannel`,
+  :class:`GilbertElliottLoss`, :class:`SnrPerChannel`,
+  :class:`ContentionChannel`),
+* the registry (:func:`register_channel` / :func:`get_channel` /
+  :func:`channel_kinds`), mirroring the protocol and engine registries.
+"""
+
+from repro.channel.models import (
+    DEFAULT_PACKET_SIZE,
+    MODULATIONS,
+    BernoulliChannel,
+    ChannelModel,
+    ContentionChannel,
+    GilbertElliottLoss,
+    SnrPerChannel,
+    bit_error_rate,
+    packet_error_rate,
+    snr_from_distance,
+    vector_packet_error_rate,
+)
+from repro.channel.registry import (
+    ChannelFactory,
+    channel_kinds,
+    channels,
+    get_channel,
+    register_channel,
+)
+
+register_channel(
+    ChannelFactory(
+        kind="bernoulli",
+        description="independent per-packet loss with a fixed loss_rate",
+        build=BernoulliChannel,
+    )
+)
+register_channel(
+    ChannelFactory(
+        kind="gilbert_elliott",
+        description="two-state Markov bursty loss (Gilbert-Elliott)",
+        build=GilbertElliottLoss,
+    )
+)
+register_channel(
+    ChannelFactory(
+        kind="snr_per",
+        description="SNR->PER wireless loss (modulation BER curve, optional path-loss distance)",
+        build=SnrPerChannel,
+    )
+)
+register_channel(
+    ChannelFactory(
+        kind="contention",
+        description="slotted shared-medium collision loss across links tagged with one medium",
+        build=ContentionChannel,
+    )
+)
+
+__all__ = [
+    "DEFAULT_PACKET_SIZE",
+    "MODULATIONS",
+    "BernoulliChannel",
+    "ChannelFactory",
+    "ChannelModel",
+    "ContentionChannel",
+    "GilbertElliottLoss",
+    "SnrPerChannel",
+    "bit_error_rate",
+    "channel_kinds",
+    "channels",
+    "get_channel",
+    "packet_error_rate",
+    "register_channel",
+    "snr_from_distance",
+    "vector_packet_error_rate",
+]

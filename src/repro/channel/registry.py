@@ -1,0 +1,81 @@
+"""Channel-model registry: named, JSON-parameterised loss processes.
+
+Mirrors the protocol/engine registries: a frozen :class:`ChannelFactory`
+per kind, looked up with :func:`get_channel`, enumerated with
+:func:`channel_kinds`.  Factories build a *fresh* model instance per call —
+channel state (Markov state, slot bookkeeping) is per link direction, so a
+spec shared by many links still yields independent channels.
+
+The module is deliberately import-light; model classes are registered by
+:mod:`repro.channel.models` when the package is imported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class ChannelFactory:
+    """A named, registrable channel-model constructor.
+
+    Attributes
+    ----------
+    kind:
+        Registry key (``"bernoulli"``, ``"snr_per"``, ...).
+    description:
+        One-line human-readable summary for ``repro channels`` style listings.
+    build:
+        ``build(**params)`` returning a new model instance; raises
+        ``TypeError``/``ValueError`` on bad parameters, which
+        :meth:`validate` surfaces at spec-construction time.
+    """
+
+    kind: str
+    description: str
+    build: Callable[..., Any] = field(compare=False)
+
+    def __call__(self, params: Mapping[str, Any]):
+        """Build a fresh channel-model instance from ``params``."""
+        return self.build(**dict(params))
+
+    def validate(self, params: Mapping[str, Any]) -> None:
+        """Construct-and-discard to fail fast on unknown/invalid params."""
+        try:
+            self.build(**dict(params))
+        except TypeError as exc:
+            raise ValueError(
+                f"invalid parameters for channel {self.kind!r}: {exc}"
+            ) from None
+
+
+_CHANNELS: Dict[str, ChannelFactory] = {}
+
+
+def register_channel(factory: ChannelFactory) -> ChannelFactory:
+    """Register a channel factory under its kind; duplicate kinds error."""
+    if factory.kind in _CHANNELS:
+        raise ValueError(f"channel kind {factory.kind!r} already registered")
+    _CHANNELS[factory.kind] = factory
+    return factory
+
+
+def get_channel(kind: str) -> ChannelFactory:
+    """Look up a registered channel factory by kind."""
+    try:
+        return _CHANNELS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown channel kind {kind!r}; registered: {channel_kinds()}"
+        ) from None
+
+
+def channel_kinds() -> Tuple[str, ...]:
+    """All registered channel kinds, sorted."""
+    return tuple(sorted(_CHANNELS))
+
+
+def channels() -> Tuple[ChannelFactory, ...]:
+    """All registered factories, sorted by kind."""
+    return tuple(_CHANNELS[k] for k in channel_kinds())

@@ -160,6 +160,17 @@ def _summarise(record: Dict[str, Any], out=None) -> None:
             f"({links['packets_sent']} packets forwarded)",
             file=out,
         )
+    channel = record.get("trace", {}).get("channel")
+    if channel:
+        drops = record.get("links", {}).get("channel_drops", {})
+        causes = ", ".join(f"{v} {k}" for k, v in sorted(drops.items())) or "none"
+        per = channel.get("per", {}).get("mean")
+        per_part = f"mean sampled PER {per:.3f}, " if per is not None else ""
+        print(
+            f"channel  : {per_part}drops by cause: {causes}, "
+            f"{channel.get('mobility_updates', 0)} mobility updates",
+            file=out,
+        )
     dynamics = record.get("trace", {}).get("dynamics")
     if dynamics:
         print(

@@ -85,8 +85,14 @@ _LEAF_NODE = re.compile(r"^leaf(\d+)$")
 # ----------------------------------------------------------- spec reduction
 
 
-def _stationary_loss_rate(impairment: Any) -> float:
-    """Long-run loss probability of a link impairment spec."""
+def _stationary_loss_rate(impairment: Any, packet_size: int = 1000) -> float:
+    """Long-run loss probability of a link impairment spec.
+
+    Channel models contribute their analytic ``expected_loss_rate`` (at
+    ``packet_size``); load-dependent models (contention) report 0 — the
+    cohort cannot anticipate collision load, so contention-heavy receivers
+    should stay exact tracers.
+    """
     rate = float(impairment.loss_rate or 0.0)
     ge = impairment.gilbert_elliott
     if ge is not None:
@@ -95,10 +101,13 @@ def _stationary_loss_rate(impairment: Any) -> float:
         rate = 1.0 - (1.0 - rate) * (
             1.0 - (bad_fraction * ge.loss_bad + (1.0 - bad_fraction) * ge.loss_good)
         )
+    channel = getattr(impairment, "channel", None)
+    if channel is not None:
+        rate = 1.0 - (1.0 - rate) * (1.0 - channel.expected_loss_rate(packet_size))
     return min(max(rate, 0.0), 1.0)
 
 
-def _leaf_properties(topology: Any, node: str) -> Tuple[float, float]:
+def _leaf_properties(topology: Any, node: str, packet_size: int = 1000) -> Tuple[float, float]:
     """(private loss rate, one-way leaf delay) of a receiver node."""
     from repro.scenarios.spec import StarSpec
 
@@ -108,7 +117,7 @@ def _leaf_properties(topology: Any, node: str) -> Tuple[float, float]:
             index = int(match.group(1))
             if index < len(topology.leaves):
                 leaf = topology.leaves[index]
-                return _stationary_loss_rate(leaf.impairment), leaf.delay
+                return _stationary_loss_rate(leaf.impairment, packet_size), leaf.delay
     # Dumbbell access links carry no configured loss; chains/custom
     # topologies keep every receiver exact-adjacent anyway.
     return 0.0, 0.0
@@ -246,10 +255,11 @@ class _FlowCohort:
         self.seeded = False
         # Per-receiver loss and delay offsets from private (non-shared)
         # path segments, resolved against the *original* topology.
+        packet_size = int(self.config.packet_size)
         private = np.empty(n, dtype=float)
         delays = np.empty(n, dtype=float)
         for i, node in enumerate(self.nodes):
-            loss, delay = _leaf_properties(spec.topology, node)
+            loss, delay = _leaf_properties(spec.topology, node, packet_size)
             private[i] = loss
             delays[i] = delay
         anchor_node = None
@@ -261,6 +271,7 @@ class _FlowCohort:
         _, anchor_delay = _leaf_properties(spec.topology, anchor_node or "")
         self.private_loss = private
         self.rtt_offset = 2.0 * (delays - anchor_delay)
+        self._init_channel_refresh(np, spec, packet_size)
         # Static multiplicative RTT jitter (access-link serialisation and
         # queueing differ slightly per receiver).
         self.rtt_jitter = self.rng.uniform(0.95, 1.05, size=n)
@@ -282,6 +293,92 @@ class _FlowCohort:
         return spec.flows[plan.flow_index].receivers if plan.flow_index < len(
             spec.flows
         ) else ()
+
+    # --------------------------------------------- channel loss-rate refresh
+
+    def _init_channel_refresh(self, np: Any, spec: Any, packet_size: int) -> None:
+        """Precompute the arrays for mobility-driven per-step PER refresh.
+
+        Cohort members have no live ``Link`` (their star leaves are pruned),
+        so the exact engine's mobility driver cannot reach them; instead the
+        cohort re-derives each member's private loss from the waypoint
+        schedule, vectorised, once per step.  Only star-leaf members with an
+        SNR-driven ``snr_per`` channel and known endpoint positions take
+        part; everyone else keeps their static stationary rate.
+        """
+        from repro.scenarios.spec import StarSpec
+
+        self._mobility = spec.dynamics.mobility
+        self._refresh_rows = None
+        mobility, topology = self._mobility, spec.topology
+        if mobility is None or not isinstance(topology, StarSpec):
+            return
+        if mobility.position_at("hub", 0.0) is None:
+            return
+        rows: List[int] = []
+        nodes: List[str] = []
+        path_params: List[Tuple[float, float, float, float]] = []
+        modulations: List[str] = []
+        for i, node in enumerate(self.nodes):
+            match = _LEAF_NODE.match(node)
+            if not match or int(match.group(1)) >= len(topology.leaves):
+                continue
+            channel = topology.leaves[int(match.group(1))].impairment.channel
+            if channel is None or channel.kind != "snr_per":
+                continue
+            params = channel.params
+            if params.get("per") is not None:
+                continue  # fixed-PER override: nothing distance-driven
+            if mobility.position_at(node, 0.0) is None:
+                continue
+            rows.append(i)
+            nodes.append(node)
+            path_params.append(
+                (
+                    float(params.get("tx_power_dbm", 20.0)),
+                    float(params.get("noise_dbm", -90.0)),
+                    float(params.get("ref_loss_db", 70.0)),
+                    float(params.get("path_loss_exponent", 3.0)),
+                )
+            )
+            modulations.append(params.get("modulation", "qpsk"))
+        if not rows:
+            return
+        self._refresh_rows = np.asarray(rows, dtype=int)
+        self._refresh_nodes = nodes
+        self._refresh_tx = np.asarray([p[0] for p in path_params])
+        self._refresh_noise = np.asarray([p[1] for p in path_params])
+        self._refresh_ref_loss = np.asarray([p[2] for p in path_params])
+        self._refresh_exponent = np.asarray([p[3] for p in path_params])
+        self._refresh_modulations = np.asarray(modulations)
+        self._refresh_packet_size = packet_size
+
+    def _refresh_private_loss(self, np: Any, now: float) -> None:
+        """Re-derive movers' private PER from node positions at ``now``."""
+        if self._refresh_rows is None:
+            return
+        from repro.channel import vector_packet_error_rate
+
+        mobility = self._mobility
+        hub = mobility.position_at("hub", now)
+        positions = np.asarray(
+            [mobility.position_at(node, now) for node in self._refresh_nodes]
+        )
+        distance = np.maximum(
+            np.hypot(positions[:, 0] - hub[0], positions[:, 1] - hub[1]), 0.01
+        )
+        snr_db = (
+            self._refresh_tx
+            - (self._refresh_ref_loss + 10.0 * self._refresh_exponent * np.log10(distance))
+            - self._refresh_noise
+        )
+        per = np.empty(len(distance), dtype=float)
+        for modulation in np.unique(self._refresh_modulations):
+            mask = self._refresh_modulations == modulation
+            per[mask] = vector_packet_error_rate(
+                np, snr_db[mask], str(modulation), self._refresh_packet_size
+            )
+        self.private_loss[self._refresh_rows] = per
 
     # ------------------------------------------------------------ anchoring
 
@@ -320,6 +417,7 @@ class _FlowCohort:
         dt = now - self._last_step_time if self._last_step_time is not None else None
         self._last_step_time = now
         self.steps += 1
+        self._refresh_private_loss(np, now)
         anchor = self._anchor()
         if anchor is not None:
             self._advance_state(np, anchor, dt)

@@ -27,7 +27,13 @@ Channels emitted by the built-in probes
                  ``feedback`` channels with their TFMCC counterparts.
 ``dynamics``     ``(t, kind, target)`` time-scripted network events applied
                  by the scenario builder (link failures, parameter steps,
-                 membership churn).
+                 channel updates, membership churn).
+``channel``      ``(t, link_name, per, snr_db, collisions)`` sampled state of
+                 observable channel models (:class:`ChannelStateProbe`);
+                 ``snr_db`` is None for non-SNR models, ``collisions`` is
+                 None for non-contention models.
+``mobility``     ``(t, moved)`` one event per mobility update tick: how many
+                 link channels had their SNR re-derived from node positions.
 ``route_rebuild`` ``(t, reason, topology_version)`` unicast-route rebuilds
                  (and multicast re-grafts) triggered by live topology
                  changes (emitted by ``Network``).
@@ -131,6 +137,59 @@ class QueueOccupancyProbe:
         self._timer = self.sim.reschedule(self._timer, self.interval, self._sample)
 
 
+class ChannelStateProbe:
+    """Samples the state of observable channel models on a fixed interval.
+
+    Observability is checked live on every tick (not frozen at attach time),
+    so channels installed mid-run by ``channel_update`` dynamics events are
+    picked up as soon as they appear.  Emits one ``channel`` event per
+    observable link per tick: ``(t, link_name, per, snr_db, collisions)``.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        recorder: TraceRecorder,
+        links: Sequence[Any],
+        interval: float = 0.5,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.recorder = recorder
+        self.links = list(links)
+        self.interval = interval
+        self._timer = None
+        self.samples = 0
+
+    def start(self, at: float = 0.0) -> None:
+        self._timer = self.sim.schedule_at(max(at, self.sim.now), self._sample)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        emit = self.recorder.emit
+        for link in self.links:
+            channel = link.channel
+            if channel is None or not channel.observable:
+                continue
+            state = channel.state()
+            emit(
+                "channel",
+                now,
+                link.name,
+                state.get("per"),
+                state.get("snr_db"),
+                state.get("collisions"),
+            )
+        self.samples += 1
+        self._timer = self.sim.reschedule(self._timer, self.interval, self._sample)
+
+
 def summarise_trace(
     recorder: TraceRecorder,
     warmup: float = 0.0,
@@ -186,6 +245,32 @@ def summarise_trace(
             "route_rebuilds": len(route_rebuilds),
             "clr_switches": [[e[0], e[2], e[1]] for e in recorder.events("clr_change")][:500],
             "rate_series": [[e[0], e[3], e[1]] for e in recorder.events("round")][:2000],
+        }
+    channel_events = recorder.events("channel")
+    mobility_events = recorder.events("mobility")
+    if channel_events or mobility_events:
+        # Channel-layer telemetry: PER/SNR statistics over the sampled
+        # observable channels, collision totals, and capped time series for
+        # the wireless figures.  Only present when the channel probe or the
+        # mobility driver ran, so pre-channel summaries are unchanged.
+        post = [e for e in channel_events if e[0] >= warmup]
+        pers = [e[2] for e in post if e[2] is not None]
+        snrs = [e[3] for e in post if e[3] is not None]
+        collisions_final: Dict[str, float] = {}
+        for e in channel_events:
+            if e[4] is not None:
+                # Cumulative counter: the last sample per link is the total.
+                collisions_final[e[1]] = e[4]
+        summary["channel"] = {
+            "samples": len(post),
+            "per": summary_stats(pers),
+            "snr_db": summary_stats(snrs),
+            "collisions": sum(collisions_final.values()),
+            "per_series": [[e[0], e[1], e[2]] for e in channel_events][:2000],
+            "snr_series": [
+                [e[0], e[1], e[3]] for e in channel_events if e[3] is not None
+            ][:2000],
+            "mobility_updates": len(mobility_events),
         }
     if loss_intervals is not None:
         merged: List[float] = []

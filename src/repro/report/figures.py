@@ -7,7 +7,8 @@ analytical overlay, and the declared tolerances its ``--check`` assertions
 use.  Tolerances come in a ``quick`` and a ``full`` flavour: quick runs are
 CI-sized (tens of simulated seconds) and therefore noisier.
 
-The six figures cover the paper's headline claims:
+The seven figures cover the paper's headline claims (plus one wireless
+extension beyond the paper):
 
 ``fairness``    Figure 9 — TFMCC vs N TCPs on one bottleneck: Jain index and
                 the TCP-friendliness ratio, against the equal-share model.
@@ -27,6 +28,10 @@ The six figures cover the paper's headline claims:
                 must behave like its unicast ancestor TFRC: both flows on
                 one bottleneck (the ``tfmcc_vs_tfrc`` scenario of the
                 unified flow API) should split it evenly.
+``wireless``    beyond the paper — TFMCC/TFRC/TCP across SNR->PER wireless
+                last hops (scenario ``wireless_last_hop``): sampled channel
+                PER must track the analytic curve, and non-congestive loss
+                must cost equation-based throughput.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.feedback_model import expected_feedback_messages
 from repro.analysis.scaling import expected_minimum_rate_constant_loss
+from repro.channel import packet_error_rate
 from repro.core.config import TFMCCConfig
 from repro.metrics.aggregate import aggregate_field, group_records, record_engine, record_param
 from repro.metrics.stats import (
@@ -840,6 +846,146 @@ FIG_EQUIVALENCE = register_figure(
             # 120 s full runs sit at 0.91-1.02.
             "quick": {"ratio_lo": 0.45, "ratio_hi": 1.8, "util_min": 0.6},
             "full": {"ratio_lo": 0.6, "ratio_hi": 1.5, "util_min": 0.7},
+        },
+    )
+)
+
+
+# -------------------------------------------------------- figure: wireless
+
+#: SNR grid the wireless figure sweeps (dB, QPSK at 1000-byte packets).
+#: Spans the modulation's PER cliff: ~0 loss at 16 dB, ~3% at 13 dB,
+#: ~24% at 12 dB and ~49% at 11.5 dB.
+WIRELESS_SNR_GRID = [16.0, 13.0, 12.0, 11.5]
+
+#: Bottleneck the wireless runs share (matches the scenario default).
+WIRELESS_BOTTLENECK_BPS = 2e6
+
+
+def _wireless_requests(quick: bool) -> List[RunRequest]:
+    duration = 30.0 if quick else 120.0
+    seeds = [1] if quick else [1, 2]
+    return [
+        RunRequest(
+            "wireless_last_hop",
+            {"snr_db": snr, "duration": duration},
+            seed,
+        )
+        for snr in WIRELESS_SNR_GRID
+        for seed in seeds
+    ]
+
+
+def _wireless_build(records: List[Dict[str, Any]], quick: bool) -> FigureData:
+    tol = FIG_WIRELESS.tol(quick)
+    dataset: List[Dict[str, Any]] = []
+    overlay: List[Dict[str, Any]] = []
+    checks: List[Check] = []
+    by_snr: Dict[float, Dict[str, float]] = {}
+    for snr, group in sorted(group_records(records, "snr_db").items()):
+        analytic = packet_error_rate(snr, "qpsk", 1000)
+        sampled = _mean(
+            [
+                r.get("trace", {}).get("channel", {}).get("per", {}).get("mean", 0.0)
+                for r in group
+            ]
+        )
+        drops = sum(
+            r.get("links", {}).get("channel_drops", {}).get("per", 0) for r in group
+        )
+        sent = sum(r.get("links", {}).get("packets_sent", 0) for r in group)
+        tfmcc = _mean([r["tfmcc_mean_bps"] for r in group])
+        tfrc = _mean([r.get("tfrc_mean_bps", 0.0) for r in group])
+        tcp = _mean([r.get("tcp_mean_bps", 0.0) for r in group])
+        jain = _mean([r["fairness_index"] for r in group])
+        by_snr[snr] = {"tfmcc": tfmcc, "tcp": tcp, "jain": jain}
+        dataset.append(
+            {
+                "snr_db": snr,
+                "analytic_per": analytic,
+                "sampled_per": sampled,
+                "measured_drop_rate": drops / sent if sent > 0 else 0.0,
+                "tfmcc_mean_bps": tfmcc,
+                "tfrc_mean_bps": tfrc,
+                "tcp_mean_bps": tcp,
+                "jain_index": jain,
+                "runs": len(group),
+            }
+        )
+        overlay.append(
+            {"snr_db": snr, "fair_share_bps": WIRELESS_BOTTLENECK_BPS / 3.0}
+        )
+        # The probe samples both the data and the (smaller-packet) feedback
+        # direction of every wireless leaf, so the sampled mean sits at or
+        # below the 1000-byte analytic curve but must track it.
+        checks.append(
+            _bounds_check(
+                f"sampled_per(snr={snr:g})",
+                sampled,
+                max(0.0, analytic * tol["per_lo_frac"] - 0.01),
+                analytic + tol["per_hi_abs"],
+            )
+        )
+    best = max(by_snr)
+    worst = min(by_snr)
+    checks.append(
+        _bounds_check(
+            "jain_clean",
+            by_snr[best]["jain"],
+            tol["jain_clean_min"],
+            1.0,
+        )
+    )
+    if by_snr[best]["tfmcc"] > 0:
+        degradation = by_snr[worst]["tfmcc"] / by_snr[best]["tfmcc"]
+    else:
+        degradation = 1.0
+    checks.append(
+        # Non-congestive PER loss must cost TFMCC throughput: deep in the
+        # cliff the rate has to sit well below the clean-channel rate.
+        _bounds_check("tfmcc_degradation", degradation, 0.0, tol["degraded_max"])
+    )
+    return FigureData(
+        dataset=dataset,
+        overlay=overlay,
+        checks=checks,
+        extras={"snr_grid": WIRELESS_SNR_GRID, "modulation": "qpsk"},
+    )
+
+
+FIG_WIRELESS = register_figure(
+    FigureDef(
+        name="wireless",
+        title="Throughput and fairness over SNR->PER wireless last hops",
+        paper_figures="beyond the paper: DCCP-over-wireless theme (PAPERS.md)",
+        description=(
+            "TFMCC, TFRC and TCP sharing a 2 Mbit/s bottleneck, every "
+            "receiver behind its own QPSK wireless last hop, swept across "
+            "the SNR cliff: analytic vs sampled PER, per-protocol mean "
+            "throughput and Jain fairness as non-congestive loss grows."
+        ),
+        requests=_wireless_requests,
+        build=_wireless_build,
+        plot=PlotSpec(
+            x="snr_db",
+            ys=["tfmcc_mean_bps", "tfrc_mean_bps", "tcp_mean_bps"],
+            overlay_ys=["fair_share_bps"],
+            xlabel="last-hop SNR (dB)",
+            ylabel="throughput (bit/s)",
+        ),
+        tolerances={
+            "quick": {
+                "per_lo_frac": 0.1,
+                "per_hi_abs": 0.05,
+                "jain_clean_min": 0.45,
+                "degraded_max": 0.8,
+            },
+            "full": {
+                "per_lo_frac": 0.2,
+                "per_hi_abs": 0.03,
+                "jain_clean_min": 0.55,
+                "degraded_max": 0.6,
+            },
         },
     )
 )

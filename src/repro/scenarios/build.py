@@ -15,14 +15,21 @@ runs, and reduces the simulation to a JSON-compatible result record.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import telemetry
+from repro.channel import SnrPerChannel
 from repro.core.config import TFMCCConfig
 from repro.telemetry.collect import collect_run
-from repro.metrics.trace import QueueOccupancyProbe, TraceRecorder, summarise_trace
+from repro.metrics.trace import (
+    ChannelStateProbe,
+    QueueOccupancyProbe,
+    TraceRecorder,
+    summarise_trace,
+)
 from repro.protocols import BuiltFlow, get_protocol
 from repro.scenarios.spec import (
     ChainSpec,
@@ -50,6 +57,38 @@ def _loss_model_factory(impairment: ImpairmentSpec):
     return lambda: GilbertElliottLoss(ge.p_good_bad, ge.p_bad_good, ge.loss_good, ge.loss_bad)
 
 
+def _channel_factory(impairment: ImpairmentSpec):
+    """Per-direction factory for an explicit ``ImpairmentSpec.channel``."""
+    if impairment.channel is None:
+        return None
+    return impairment.channel.build
+
+
+def _topology_impairments(topo: TopologySpec) -> List[ImpairmentSpec]:
+    """Every per-link impairment a topology spec carries."""
+    imps = [link.impairment for link in topo.extra_links]
+    if isinstance(topo, StarSpec):
+        imps.extend(leaf.impairment for leaf in topo.leaves)
+    elif isinstance(topo, ChainSpec):
+        imps.extend(hop.impairment for hop in topo.hops)
+    return imps
+
+
+def spec_uses_channels(spec: ScenarioSpec) -> bool:
+    """True when the spec engages the channel layer anywhere.
+
+    Gates everything channel-related that would alter a record — the
+    channel trace probe (extra simulator events), the ``channel_drops``
+    link-stats key, the trace summary section — so records of pre-channel
+    specs stay byte-identical.
+    """
+    if any(imp.channel is not None for imp in _topology_impairments(spec.topology)):
+        return True
+    if any(event.kind == "channel_update" for event in spec.dynamics.events):
+        return True
+    return spec.dynamics.mobility is not None
+
+
 def _jitter(impairment: ImpairmentSpec, default: Optional[float] = None) -> float:
     """Resolve a link's jitter: explicit spec value wins, else the default."""
     if impairment.jitter is not None:
@@ -67,6 +106,7 @@ def _add_duplex(net: Network, link: DuplexLinkSpec) -> None:
         link.impairment.loss_rate,
         jitter=_jitter(link.impairment),
         loss_model_factory=_loss_model_factory(link.impairment),
+        channel_factory=_channel_factory(link.impairment),
     )
 
 
@@ -125,6 +165,7 @@ def build_network(sim: Simulator, topo: TopologySpec) -> Network:
                 leaf.impairment.loss_rate,
                 jitter=_jitter(leaf.impairment, jitter),
                 loss_model_factory=_loss_model_factory(leaf.impairment),
+                channel_factory=_channel_factory(leaf.impairment),
             )
     elif isinstance(topo, ChainSpec):
         jitter = topo.jitter
@@ -141,6 +182,7 @@ def build_network(sim: Simulator, topo: TopologySpec) -> Network:
                 hop.impairment.loss_rate,
                 jitter=_jitter(hop.impairment, jitter),
                 loss_model_factory=_loss_model_factory(hop.impairment),
+                channel_factory=_channel_factory(hop.impairment),
             )
     elif isinstance(topo, CustomSpec):
         net = Network(sim)
@@ -186,6 +228,22 @@ def _apply_link_event(built: "BuiltScenario", event: NetworkEventSpec) -> None:
         net.restore_link(event.a, event.b)
         return
     links = _event_links(net, event)
+    if event.kind == "channel_update":
+        for link in links:
+            if event.channel is not None:
+                # One fresh model per direction: channel state is never shared.
+                link.set_channel(event.channel.build())
+            if event.snr_db is not None:
+                channel = link.channel
+                if not hasattr(channel, "set_snr"):
+                    raise ValueError(
+                        f"channel_update at t={event.at}: link {link.name} has "
+                        f"no SNR-tunable channel (found "
+                        f"{type(channel).__name__}); install an snr_per "
+                        "channel first or give channel= instead of snr_db="
+                    )
+                channel.set_snr(event.snr_db)
+        return
     if event.bandwidth is not None:
         for link in links:
             link.set_bandwidth(event.bandwidth)
@@ -212,6 +270,47 @@ def _apply_member_event(
         session.add_receiver(event.node, receiver_id=receiver_id)
     else:
         session.remove_receiver(receiver_id)
+
+
+class _MobilityDriver:
+    """Recurring event that re-derives SNR->PER channels from node motion.
+
+    Every ``update_interval`` (starting at t=0, so static positions take
+    effect before the first packet) the driver interpolates node positions
+    from the waypoint schedule and, for each link whose channel is an
+    ``snr_per`` model with both endpoint positions known, re-derives the
+    channel SNR from the euclidean endpoint distance.
+    """
+
+    def __init__(self, built: "BuiltScenario"):
+        self.built = built
+        self.mobility = built.spec.dynamics.mobility
+        self._timer = None
+
+    def start(self) -> None:
+        self._timer = self.built.sim.schedule_at(0.0, self._update)
+
+    def _update(self) -> None:
+        built, mobility = self.built, self.mobility
+        sim = built.sim
+        now = sim.now
+        moved = 0
+        for link in built.network.links:
+            channel = link.channel
+            if not isinstance(channel, SnrPerChannel):
+                continue
+            pos_src = mobility.position_at(link.src.node_id, now)
+            pos_dst = mobility.position_at(link.dst.node_id, now)
+            if pos_src is None or pos_dst is None:
+                continue
+            channel.set_distance(
+                math.hypot(pos_src[0] - pos_dst[0], pos_src[1] - pos_dst[1])
+            )
+            moved += 1
+        built.mobility_updates += 1
+        if built.recorder is not None:
+            built.recorder.emit("mobility", now, moved)
+        self._timer = sim.reschedule(self._timer, mobility.update_interval, self._update)
 
 
 def _schedule_dynamics(built: "BuiltScenario") -> None:
@@ -244,6 +343,8 @@ def _schedule_dynamics(built: "BuiltScenario") -> None:
         else:
             _event_links(net, event)  # validate endpoints at build time
             sim.schedule_at(event.at, _apply_link_event, built, event)
+    if spec.dynamics.mobility is not None:
+        _MobilityDriver(built).start()
 
 
 @dataclass
@@ -263,6 +364,8 @@ class BuiltScenario:
     background: Dict[str, Tuple[Any, TrafficSink]] = field(default_factory=dict)
     #: Structured trace sink; set when the spec (or caller) asked for tracing.
     recorder: Optional[TraceRecorder] = None
+    #: Mobility driver ticks executed (0 for specs without mobility).
+    mobility_updates: int = 0
 
     def run(self) -> float:
         """Run the simulation to the scenario's configured duration."""
@@ -309,6 +412,12 @@ def build_scenario(
         network.probe = recorder
     if recorder is not None and network.links:
         QueueOccupancyProbe(
+            sim, recorder, network.links, interval=spec.metrics.trace_queue_interval
+        ).start()
+    if recorder is not None and network.links and spec_uses_channels(spec):
+        # Gated on channel use: the probe schedules simulator events, which
+        # feed the record's event count — pre-channel records must not move.
+        ChannelStateProbe(
             sim, recorder, network.links, interval=spec.metrics.trace_queue_interval
         ).start()
 
@@ -392,6 +501,17 @@ def collect_record(built: BuiltScenario) -> Dict[str, Any]:
             record["links"]["down_drops"] = sum(
                 l.down_drops for l in built.network.links
             )
+        if spec_uses_channels(spec):
+            # Per-cause channel-drop breakdown ("per", "collision", "burst",
+            # "random"); gated on channel use so legacy records keep their
+            # exact key set.
+            by_cause: Dict[str, int] = {}
+            for link in built.network.links:
+                for cause, count in link.drops_by_cause.items():
+                    by_cause[cause] = by_cause.get(cause, 0) + count
+            record["links"]["channel_drops"] = {
+                cause: by_cause[cause] for cause in sorted(by_cause)
+            }
     if spec.metrics.with_series:
         record["series"] = series
     if built.recorder is not None:

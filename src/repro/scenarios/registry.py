@@ -36,6 +36,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.scenarios.spec import (
     BackgroundFlowSpec,
+    ChannelSpec,
     CustomSpec,
     DumbbellSpec,
     DuplexLinkSpec,
@@ -45,12 +46,14 @@ from repro.scenarios.spec import (
     GilbertElliottSpec,
     ImpairmentSpec,
     MetricsSpec,
+    MobilitySpec,
     NetworkEventSpec,
     ReceiverSpec,
     ScenarioSpec,
     StarSpec,
     TcpFlowSpec,
     TfmccFlowSpec,
+    WaypointSpec,
 )
 
 
@@ -798,6 +801,105 @@ def protocol_mix_spec(
     )
 
 
+def wireless_last_hop_spec(
+    snr_db: float = 13.0,
+    modulation: str = "qpsk",
+    num_receivers: int = 2,
+    bottleneck_bps: float = 2e6,
+    wireless_bps: float = 6e6,
+    wireless_delay: float = 0.005,
+    duration: float = 60.0,
+    warmup_fraction: float = 0.25,
+) -> ScenarioSpec:
+    """NEW: TFMCC vs TFRC vs TCP, each crossing an SNR->PER wireless last hop.
+
+    A wired bottleneck (``source -> hub``) is shared by one TFMCC session
+    (``num_receivers`` receivers), one TFRC flow and one TCP flow; every
+    receiver sits behind its own wireless leaf whose loss comes from the
+    ``snr_per`` channel model at ``snr_db``.  At high SNR this degenerates
+    to the plain shared-bottleneck comparison; as the SNR drops towards the
+    modulation's cliff the non-congestive PER loss grows and the three
+    congestion controllers diverge — the wired-cum-wireless comparison the
+    original paper never ran (see the DCCP-over-wireless discussion in
+    PAPERS.md).  Cohort-friendly: receivers are star leaves, so cohort-mode
+    private loss is derived analytically from the same channel spec.
+    """
+    wireless = ImpairmentSpec(
+        channel=ChannelSpec("snr_per", {"snr_db": snr_db, "modulation": modulation})
+    )
+    leaf = EdgeSpec(wireless_bps, wireless_delay, impairment=wireless)
+    leaves = tuple(leaf for _ in range(num_receivers + 2))
+    return ScenarioSpec(
+        name="wireless_last_hop",
+        description="TFMCC/TFRC/TCP over one bottleneck with snr_per wireless last hops",
+        duration=duration,
+        topology=StarSpec(leaves=leaves, hub_bps=bottleneck_bps, hub_delay=0.01),
+        flows=(
+            FlowSpec(
+                kind="tfmcc",
+                src="source",
+                receivers=tuple(
+                    ReceiverSpec(node=f"leaf{i}") for i in range(num_receivers)
+                ),
+            ),
+            FlowSpec(kind="tfrc", src="source", dst=f"leaf{num_receivers}"),
+            FlowSpec(kind="tcp-reno", src="source", dst=f"leaf{num_receivers + 1}"),
+        ),
+        metrics=MetricsSpec(warmup_fraction=warmup_fraction, with_trace=True),
+    )
+
+
+def mobile_receiver_spec(
+    near_m: float = 5.0,
+    far_m: float = 12.0,
+    duration: float = 60.0,
+    update_interval: float = 0.5,
+    warmup_fraction: float = 0.1,
+) -> ScenarioSpec:
+    """NEW: a receiver walks out of radio range and back (waypoint mobility).
+
+    Two TFMCC receivers share a session: leaf0 stays wired and clean, leaf1
+    is wireless with a distance-derived ``snr_per`` channel.  leaf1 starts
+    ``near_m`` metres from the hub (clean at the default path-loss model),
+    walks out to ``far_m`` metres by mid-run (deep in the PER cliff), then
+    returns.  Every ``update_interval`` the mobility driver re-derives the
+    leaf SNR from the interpolated position, so loss rises and falls
+    continuously — the mobility-driven dynamics the multicast-handover
+    literature motivates, with the CLR expected to follow leaf1 out and
+    hand back on return.
+    """
+    wireless = ImpairmentSpec(channel=ChannelSpec("snr_per", {"distance": near_m}))
+    return ScenarioSpec(
+        name="mobile_receiver",
+        description="TFMCC receiver walking out of wireless range and back (mobility)",
+        duration=duration,
+        topology=StarSpec(
+            leaves=(
+                EdgeSpec(2e6, 0.01),
+                EdgeSpec(2e6, 0.01, impairment=wireless),
+            )
+        ),
+        flows=(
+            FlowSpec(
+                kind="tfmcc",
+                src="source",
+                receivers=(ReceiverSpec(node="leaf0"), ReceiverSpec(node="leaf1")),
+            ),
+        ),
+        dynamics=DynamicsSpec(
+            mobility=MobilitySpec(
+                positions={"hub": (0.0, 0.0), "leaf1": (near_m, 0.0)},
+                waypoints=(
+                    WaypointSpec("leaf1", duration * 0.4, far_m, 0.0),
+                    WaypointSpec("leaf1", duration * 0.8, near_m, 0.0),
+                ),
+                update_interval=update_interval,
+            )
+        ),
+        metrics=MetricsSpec(warmup_fraction=warmup_fraction, with_trace=True),
+    )
+
+
 # ------------------------------------------------------------- registration
 
 register(
@@ -896,5 +998,19 @@ register(
         name="protocol_mix",
         description="One flow of every registered transport on one bottleneck (flows)",
         build=protocol_mix_spec,
+    )
+)
+register(
+    ScenarioFactory(
+        name="wireless_last_hop",
+        description="TFMCC/TFRC/TCP over one bottleneck with snr_per wireless last hops",
+        build=wireless_last_hop_spec,
+    )
+)
+register(
+    ScenarioFactory(
+        name="mobile_receiver",
+        description="TFMCC receiver walking out of wireless range and back (mobility)",
+        build=mobile_receiver_spec,
     )
 )

@@ -113,17 +113,76 @@ class GilbertElliottSpec:
 
 
 @dataclass(frozen=True)
+class ChannelSpec:
+    """A registered channel model plus its JSON parameters.
+
+    ``kind`` names a factory in :mod:`repro.channel` (built-ins:
+    ``bernoulli``, ``gilbert_elliott``, ``snr_per``, ``contention``);
+    ``params`` is passed verbatim to the factory, so anything the model's
+    constructor accepts is sweepable through dotted override paths
+    (``topology.leaves.0.impairment.channel.params.snr_db``).  Each link
+    direction gets a *fresh* model instance — channel state is never shared
+    through a spec.
+    """
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+        # Late import mirroring EngineSpec: the registry is only needed once
+        # a spec actually names a channel kind.
+        from repro.channel import get_channel
+
+        factory = get_channel(self.kind)
+        factory.validate(self.params)
+
+    def __hash__(self) -> int:
+        # Topology specs must stay hashable (the builder's route cache keys
+        # on them); the params dict hashes by its canonical JSON form.
+        return hash((self.kind, json.dumps(self.params, sort_keys=True)))
+
+    def build(self):
+        """Construct a fresh channel-model instance from this spec."""
+        from repro.channel import get_channel
+
+        return get_channel(self.kind)(self.params)
+
+    def expected_loss_rate(self, packet_size: int = 1000) -> float:
+        """Analytic long-run loss rate of a fresh instance (0 if load-driven)."""
+        return self.build().expected_loss_rate(packet_size)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "ChannelSpec":
+        data = dict(data)
+        params = dict(data.pop("params", None) or {})
+        return _from_mapping(ChannelSpec, {**data, "params": params})
+
+
+@dataclass(frozen=True)
 class ImpairmentSpec:
     """Random loss and processing jitter applied to one link direction.
 
     ``jitter=None`` means "unset": builders may substitute a topology-level
     default (the phase-effect mitigation).  An explicit ``0.0`` forces a
     jitter-free link even when such a default is active.
+
+    ``loss_rate`` and ``gilbert_elliott`` are the legacy shims for the
+    ``bernoulli`` and ``gilbert_elliott`` channel kinds; ``channel`` names
+    any registered channel model.  At most one loss process may be given.
     """
 
     loss_rate: float = 0.0
     jitter: Optional[float] = None
     gilbert_elliott: Optional[GilbertElliottSpec] = None
+    channel: Optional[ChannelSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.channel is not None and (self.gilbert_elliott is not None or self.loss_rate):
+            raise ValueError(
+                "impairment: give either channel= or the legacy "
+                "loss_rate/gilbert_elliott shims, not both"
+            )
 
     @staticmethod
     def from_dict(data: Mapping[str, Any]) -> "ImpairmentSpec":
@@ -131,7 +190,12 @@ class ImpairmentSpec:
         ge = data.pop("gilbert_elliott", None)
         if ge is not None:
             ge = _from_mapping(GilbertElliottSpec, ge)
-        return _from_mapping(ImpairmentSpec, {**data, "gilbert_elliott": ge})
+        channel = data.pop("channel", None)
+        if channel is not None:
+            channel = ChannelSpec.from_dict(channel)
+        return _from_mapping(
+            ImpairmentSpec, {**data, "gilbert_elliott": ge, "channel": channel}
+        )
 
 
 NO_IMPAIRMENT = ImpairmentSpec()
@@ -552,7 +616,14 @@ def _replace_spec(spec: "ScenarioSpec", **changes: Any) -> "ScenarioSpec":
 
 
 #: Event kinds understood by the scenario builder's dynamics scheduler.
-EVENT_KINDS = ("link_down", "link_up", "link_update", "receiver_join", "receiver_leave")
+EVENT_KINDS = (
+    "link_down",
+    "link_up",
+    "link_update",
+    "channel_update",
+    "receiver_join",
+    "receiver_leave",
+)
 
 #: Link-update directions: ``a->b``, ``b->a`` or both.
 EVENT_DIRECTIONS = ("both", "forward", "reverse")
@@ -574,6 +645,12 @@ class NetworkEventSpec:
         weight), ``loss_rate`` (Bernoulli) or ``gilbert_elliott`` (bursty
         loss process, freshly seeded per direction).  ``direction`` limits
         the change to one direction of the duplex link.
+    ``channel_update``
+        Re-channel the duplex link ``a <-> b`` at ``at``: ``channel``
+        installs a fresh model per direction from a :class:`ChannelSpec`;
+        ``snr_db`` instead retargets the SNR of an already-installed
+        ``snr_per`` channel in place (keeping its modulation and path-loss
+        parameters).  ``direction`` limits the change as for link_update.
     ``receiver_join`` / ``receiver_leave``
         Membership churn: join a new receiver at ``node`` (with optional
         explicit ``receiver_id``) or remove the receiver ``receiver_id``.
@@ -590,6 +667,9 @@ class NetworkEventSpec:
     loss_rate: Optional[float] = None
     gilbert_elliott: Optional[GilbertElliottSpec] = None
     direction: str = "both"
+    # Channel events.
+    channel: Optional[ChannelSpec] = None
+    snr_db: Optional[float] = None
     # Membership events.
     flow: Optional[str] = None
     node: Optional[str] = None
@@ -606,7 +686,7 @@ class NetworkEventSpec:
             raise ValueError(
                 f"unknown direction {self.direction!r} (known: {', '.join(EVENT_DIRECTIONS)})"
             )
-        if self.kind in ("link_down", "link_up", "link_update"):
+        if self.kind in ("link_down", "link_up", "link_update", "channel_update"):
             if self.a is None or self.b is None:
                 raise ValueError(f"{self.kind} event requires link endpoints a and b")
             if self.kind == "link_update" and not self.has_link_changes:
@@ -614,7 +694,11 @@ class NetworkEventSpec:
                     "link_update event changes nothing: set bandwidth, delay, "
                     "loss_rate or gilbert_elliott"
                 )
-            if self.kind != "link_update" and self.direction != "both":
+            if self.kind == "channel_update" and self.channel is None and self.snr_db is None:
+                raise ValueError(
+                    "channel_update event changes nothing: set channel or snr_db"
+                )
+            if self.kind in ("link_down", "link_up") and self.direction != "both":
                 raise ValueError(
                     f"{self.kind} takes the whole duplex link down/up (routing "
                     "is undirected); drop the direction override"
@@ -625,6 +709,13 @@ class NetworkEventSpec:
         elif self.kind == "receiver_leave":
             if self.receiver_id is None:
                 raise ValueError("receiver_leave event requires a receiver_id")
+        if self.kind != "channel_update" and (
+            self.channel is not None or self.snr_db is not None
+        ):
+            raise ValueError(
+                f"{self.kind} event does not take channel/snr_db "
+                "(use a channel_update event)"
+            )
         if self.loss_rate is not None and not 0.0 <= self.loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
         if self.bandwidth is not None and self.bandwidth <= 0:
@@ -648,7 +739,7 @@ class NetworkEventSpec:
     @property
     def target(self) -> str:
         """Human-readable event target (for traces and summaries)."""
-        if self.kind in ("link_down", "link_up", "link_update"):
+        if self.kind in ("link_down", "link_up", "link_update", "channel_update"):
             return f"{self.a}<->{self.b}"
         if self.kind == "receiver_join":
             return f"{self.node}"
@@ -660,7 +751,105 @@ class NetworkEventSpec:
         ge = data.pop("gilbert_elliott", None)
         if ge is not None:
             ge = _from_mapping(GilbertElliottSpec, ge)
-        return _from_mapping(NetworkEventSpec, {**data, "gilbert_elliott": ge})
+        channel = data.pop("channel", None)
+        if channel is not None:
+            channel = ChannelSpec.from_dict(channel)
+        return _from_mapping(
+            NetworkEventSpec, {**data, "gilbert_elliott": ge, "channel": channel}
+        )
+
+
+@dataclass(frozen=True)
+class WaypointSpec:
+    """One mobility waypoint: ``node`` reaches ``(x, y)`` metres at time ``at``.
+
+    Motion towards a waypoint is linear from the node's previous location
+    (the preceding waypoint, or its static start position at the time of the
+    preceding waypoint / t=0).  After its last waypoint a node stays put.
+    """
+
+    node: str
+    at: float
+    x: float
+    y: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"waypoint time must be >= 0, got {self.at}")
+
+
+@dataclass(frozen=True)
+class MobilitySpec:
+    """Waypoint mobility driving distance-derived wireless channels.
+
+    ``positions`` gives static (x, y) coordinates in metres per node;
+    ``waypoints`` script the movers.  Every ``update_interval`` simulated
+    seconds (starting at t=0) the builder re-evaluates node positions and,
+    for every link whose channel is an ``snr_per`` model and whose *both*
+    endpoints have known positions, re-derives the channel SNR from the
+    euclidean endpoint distance through the model's path-loss parameters.
+    Links of other channel kinds — and nodes without positions — are left
+    untouched.
+    """
+
+    positions: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    waypoints: Tuple[WaypointSpec, ...] = ()
+    update_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "positions",
+            {node: (float(xy[0]), float(xy[1])) for node, xy in dict(self.positions).items()},
+        )
+        object.__setattr__(self, "waypoints", tuple(self.waypoints))
+        if self.update_interval <= 0:
+            raise ValueError("mobility update_interval must be positive")
+        last_at: Dict[str, float] = {}
+        for wp in self.waypoints:
+            if wp.at < last_at.get(wp.node, 0.0):
+                raise ValueError(
+                    f"waypoints for {wp.node!r} must be in non-decreasing time order"
+                )
+            last_at[wp.node] = wp.at
+
+    def position_at(self, node: str, t: float) -> Optional[Tuple[float, float]]:
+        """Interpolated (x, y) of ``node`` at time ``t`` (None if unknown)."""
+        start = self.positions.get(node)
+        moves = [w for w in self.waypoints if w.node == node]
+        if not moves:
+            return start
+        prev_t = 0.0
+        prev_xy = start if start is not None else (moves[0].x, moves[0].y)
+        for wp in moves:
+            if t <= wp.at:
+                if wp.at <= prev_t:
+                    return (wp.x, wp.y)
+                frac = (t - prev_t) / (wp.at - prev_t)
+                return (
+                    prev_xy[0] + frac * (wp.x - prev_xy[0]),
+                    prev_xy[1] + frac * (wp.y - prev_xy[1]),
+                )
+            prev_t, prev_xy = wp.at, (wp.x, wp.y)
+        return prev_xy
+
+    def moving_nodes(self) -> Tuple[str, ...]:
+        """Nodes with at least one waypoint, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for wp in self.waypoints:
+            seen.setdefault(wp.node, None)
+        return tuple(seen)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, Any]) -> "MobilitySpec":
+        data = dict(data)
+        waypoints = tuple(
+            _from_mapping(WaypointSpec, w) for w in data.pop("waypoints", ())
+        )
+        positions = dict(data.pop("positions", None) or {})
+        return _from_mapping(
+            MobilitySpec, {**data, "positions": positions, "waypoints": waypoints}
+        )
 
 
 @dataclass(frozen=True)
@@ -668,20 +857,27 @@ class DynamicsSpec:
     """Time-scripted network dynamics: an ordered schedule of events.
 
     Events fire at their absolute simulation time ``at``; events with equal
-    times fire in schedule order.  The empty schedule (the default on every
-    :class:`ScenarioSpec`) is inert — static scenarios are unaffected.
+    times fire in schedule order.  ``mobility`` adds continuous waypoint
+    motion on top of the discrete schedule.  The empty spec (the default on
+    every :class:`ScenarioSpec`) is inert — static scenarios are unaffected.
     """
 
     events: Tuple[NetworkEventSpec, ...] = ()
+    mobility: Optional[MobilitySpec] = None
 
     def __bool__(self) -> bool:
-        return bool(self.events)
+        return bool(self.events) or self.mobility is not None
 
     @staticmethod
     def from_dict(data: Mapping[str, Any]) -> "DynamicsSpec":
         data = dict(data)
         events = tuple(NetworkEventSpec.from_dict(e) for e in data.pop("events", ()))
-        return _from_mapping(DynamicsSpec, {**data, "events": events})
+        mobility = data.pop("mobility", None)
+        if mobility is not None:
+            mobility = MobilitySpec.from_dict(mobility)
+        return _from_mapping(
+            DynamicsSpec, {**data, "events": events, "mobility": mobility}
+        )
 
 
 NO_DYNAMICS = DynamicsSpec()

@@ -1,24 +1,25 @@
-"""Unidirectional links with bandwidth, propagation delay and random loss.
+"""Unidirectional links with bandwidth, propagation delay and channel loss.
 
 A link models a store-and-forward output interface: packets wait in the
 attached queue while the link is busy serialising a previous packet, then take
 ``size * 8 / bandwidth`` seconds to transmit followed by ``delay`` seconds of
 propagation before arriving at the downstream node.
 
-Random loss is applied at enqueue time; it models lossy links in the paper's
-star topologies (e.g. Figure 11's 0.1 %-12.5 % loss links) without requiring
-the loss to come from queue overflow.  Two loss processes are available:
-
-* independent (Bernoulli) loss with a fixed ``loss_rate``, and
-* the two-state Gilbert-Elliott model (:class:`GilbertElliottLoss`), which
-  produces *bursty* loss as seen on wireless and deep-fading links.
+Non-congestive loss is applied at enqueue time through a single seam: an
+optional :class:`~repro.channel.models.ChannelModel` whose
+``should_drop(rng, now, packet)`` decides each packet's fate.  The legacy
+``loss_rate`` (independent Bernoulli loss) and ``loss_model``
+(:class:`GilbertElliottLoss` bursty loss) fields survive as shims that build
+the equivalent channel model; richer models (SNR->PER wireless links,
+shared-medium contention) come from :mod:`repro.channel`.
 """
 
 from __future__ import annotations
 
-import random
+import warnings
 from typing import TYPE_CHECKING, Dict, Optional
 
+from repro.channel.models import BernoulliChannel, ChannelModel, GilbertElliottLoss
 from repro.simulator.packet import Packet
 from repro.simulator.queues import DropTailQueue, PacketQueue, REDQueue
 
@@ -26,65 +27,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.simulator.engine import Simulator
     from repro.simulator.node import Node
 
-
-class GilbertElliottLoss:
-    """Two-state Markov (Gilbert-Elliott) packet-loss process.
-
-    The channel alternates between a GOOD and a BAD state.  On every offered
-    packet the state first transitions (GOOD->BAD with probability
-    ``p_good_bad``, BAD->GOOD with probability ``p_bad_good``), then the
-    packet is dropped with the loss probability of the resulting state.
-
-    The classic Gilbert model is ``loss_good=0, loss_bad=1``; the expected
-    burst length is then ``1 / p_bad_good`` packets and the stationary loss
-    rate ``p_good_bad / (p_good_bad + p_bad_good)``.
-
-    Each link direction must own its *own* instance: the state is per-channel.
-    """
-
-    __slots__ = ("p_good_bad", "p_bad_good", "loss_good", "loss_bad", "bad")
-
-    def __init__(
-        self,
-        p_good_bad: float,
-        p_bad_good: float,
-        loss_good: float = 0.0,
-        loss_bad: float = 1.0,
-        start_bad: bool = False,
-    ):
-        for name, p in (
-            ("p_good_bad", p_good_bad),
-            ("p_bad_good", p_bad_good),
-            ("loss_good", loss_good),
-            ("loss_bad", loss_bad),
-        ):
-            if not 0.0 <= p <= 1.0:
-                raise ValueError(f"{name} must be in [0, 1], got {p}")
-        self.p_good_bad = p_good_bad
-        self.p_bad_good = p_bad_good
-        self.loss_good = loss_good
-        self.loss_bad = loss_bad
-        self.bad = start_bad
-
-    @property
-    def stationary_loss_rate(self) -> float:
-        """Long-run average loss rate of the process."""
-        total = self.p_good_bad + self.p_bad_good
-        if total <= 0.0:
-            return self.loss_bad if self.bad else self.loss_good
-        pi_bad = self.p_good_bad / total
-        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
-
-    def should_drop(self, rng: random.Random) -> bool:
-        """Advance the channel state by one packet and decide its fate."""
-        if self.bad:
-            if rng.random() < self.p_bad_good:
-                self.bad = False
-        else:
-            if rng.random() < self.p_good_bad:
-                self.bad = True
-        loss = self.loss_bad if self.bad else self.loss_good
-        return loss > 0.0 and rng.random() < loss
+__all__ = ["Link", "GilbertElliottLoss"]
 
 
 class Link:
@@ -104,11 +47,16 @@ class Link:
         Packet queue used while the link is busy; defaults to a 50-packet
         drop-tail queue as in the paper's ns-2 setups.
     loss_rate:
-        Independent Bernoulli drop probability applied to every packet.
+        Independent Bernoulli drop probability applied to every packet
+        (shim: builds a ``bernoulli`` channel model when positive).
     loss_model:
         Optional stateful loss process (e.g. :class:`GilbertElliottLoss`)
         consulted instead of ``loss_rate`` when set.  The instance must not
         be shared between links.
+    channel:
+        Explicit channel model; takes precedence over both shims.  Use
+        :func:`repro.channel.get_channel` to build one from a registered
+        kind and JSON parameters.
     jitter:
         Maximum random per-packet processing delay in seconds, added to the
         serialisation time (uniformly distributed, FIFO order preserved).
@@ -129,7 +77,8 @@ class Link:
         loss_rate: float = 0.0,
         name: Optional[str] = None,
         jitter: float = 0.0,
-        loss_model: Optional[GilbertElliottLoss] = None,
+        loss_model: Optional[ChannelModel] = None,
+        channel: Optional[ChannelModel] = None,
     ):
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
@@ -142,8 +91,15 @@ class Link:
         self.dst = dst
         self.bandwidth = bandwidth
         self.delay = delay
-        self.loss_rate = loss_rate
-        self.loss_model = loss_model
+        self._loss_rate = loss_rate
+        if channel is not None:
+            self._channel: Optional[ChannelModel] = channel
+        elif loss_model is not None:
+            self._channel = loss_model
+        elif loss_rate > 0.0:
+            self._channel = BernoulliChannel(loss_rate)
+        else:
+            self._channel = None
         if jitter < 0:
             raise ValueError("jitter cannot be negative")
         self.jitter = jitter
@@ -169,7 +125,13 @@ class Link:
         self.bytes_sent = 0
         self.random_drops = 0
         self.down_drops = 0
+        #: Channel drops broken down by the dropping model's ``cause``
+        #: ("random", "burst", "per", "collision", ...); sums to
+        #: :attr:`random_drops`.
+        self.drops_by_cause: Dict[str, int] = {}
         self.bytes_per_flow: Dict[str, int] = {}
+        if self._channel is not None:
+            self._channel.bind(self)
 
     # ------------------------------------------------------------------ API
 
@@ -186,17 +148,54 @@ class Link:
         if self.down:
             self.down_drops += 1
             return False
-        if self.loss_model is not None:
-            if self.loss_model.should_drop(self.sim.rng):
-                self.random_drops += 1
-                return False
-        elif self.loss_rate > 0.0 and self.sim.rng.random() < self.loss_rate:
+        channel = self._channel
+        if channel is not None and channel.should_drop(self.sim.rng, self.sim.now, packet):
             self.random_drops += 1
+            cause = channel.cause
+            self.drops_by_cause[cause] = self.drops_by_cause.get(cause, 0) + 1
             return False
         if self._busy:
             return self.queue.enqueue(packet, self.sim.now)
         self._start_transmission(packet)
         return True
+
+    # -------------------------------------------------------- channel shims
+    #
+    # ``loss_rate`` and ``loss_model`` predate the channel seam; both are
+    # kept as lossless views so existing callers (tests mutate loss_rate
+    # directly, scenario specs carry gilbert_elliott blocks) keep their
+    # exact semantics, including RNG draw order and counts.
+
+    @property
+    def channel(self) -> Optional[ChannelModel]:
+        """The channel model consulted for every offered packet (or None)."""
+        return self._channel
+
+    @property
+    def loss_rate(self) -> float:
+        """Bernoulli drop probability shim (0 when a richer model is active)."""
+        return self._loss_rate
+
+    @loss_rate.setter
+    def loss_rate(self, loss_rate: float) -> None:
+        self._loss_rate = loss_rate
+        if self._channel is None or isinstance(self._channel, BernoulliChannel):
+            # Legacy direct assignment: rebuild the Bernoulli channel.  A
+            # stateful model keeps shadowing the rate, exactly as the old
+            # ``if loss_model ... elif loss_rate`` seam did; set_loss_rate()
+            # is the mutator that replaces it explicitly.
+            self._channel = BernoulliChannel(loss_rate) if loss_rate > 0.0 else None
+
+    @property
+    def loss_model(self) -> Optional[ChannelModel]:
+        """The stateful loss process, when one richer than Bernoulli is set."""
+        if self._channel is None or isinstance(self._channel, BernoulliChannel):
+            return None
+        return self._channel
+
+    @loss_model.setter
+    def loss_model(self, loss_model: Optional[ChannelModel]) -> None:
+        self.set_loss_model(loss_model)
 
     @property
     def queue_drops(self) -> int:
@@ -254,15 +253,49 @@ class Link:
         self.delay = delay
 
     def set_loss_rate(self, loss_rate: float) -> None:
-        """Change the Bernoulli loss probability; clears any stateful model."""
+        """Replace the channel with Bernoulli loss at ``loss_rate``.
+
+        Replacing a stateful channel model (Gilbert-Elliott, snr_per, ...)
+        discards its state; that is usually a scripted loss step overriding
+        a richer model, so it warns rather than silently shadowing the new
+        rate (the pre-channel seam let the stateful model win).
+        """
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
-        self.loss_rate = loss_rate
-        self.loss_model = None
+        if self._channel is not None and not isinstance(self._channel, BernoulliChannel):
+            warnings.warn(
+                f"set_loss_rate({loss_rate}) on {self.name} replaces the active "
+                f"{type(self._channel).__name__} channel model; use "
+                f"set_channel() to silence this",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        self._loss_rate = loss_rate
+        self._channel = BernoulliChannel(loss_rate) if loss_rate > 0.0 else None
 
-    def set_loss_model(self, loss_model: Optional[GilbertElliottLoss]) -> None:
-        """Install (or clear) a stateful loss process for subsequent packets."""
-        self.loss_model = loss_model
+    def set_loss_model(self, loss_model: Optional[ChannelModel]) -> None:
+        """Install (or clear) a stateful loss process for subsequent packets.
+
+        Clearing falls back to the Bernoulli ``loss_rate`` shim, matching
+        the pre-channel-seam precedence.
+        """
+        if loss_model is None:
+            self._channel = (
+                BernoulliChannel(self._loss_rate) if self._loss_rate > 0.0 else None
+            )
+        else:
+            self._channel = loss_model
+            loss_model.bind(self)
+
+    def set_channel(self, channel: Optional[ChannelModel]) -> None:
+        """Install (or clear) the channel model outright.
+
+        Unlike the shims this never consults ``loss_rate``: clearing leaves
+        the link lossless.
+        """
+        self._channel = channel
+        if channel is not None:
+            channel.bind(self)
 
     def set_down(self) -> None:
         """Take the link down: flush the queue, stop the drain, drop all input.

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from heapq import heappop, heappush
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.simulator.engine import Simulator
 from repro.simulator.link import GilbertElliottLoss, Link
@@ -95,8 +95,14 @@ class Network:
         queue_factory: Optional[Callable[[], PacketQueue]] = None,
         jitter: float = 0.0,
         loss_model: Optional[GilbertElliottLoss] = None,
+        channel: Optional[Any] = None,
     ) -> Link:
-        """Add a unidirectional link from ``src`` to ``dst``."""
+        """Add a unidirectional link from ``src`` to ``dst``.
+
+        ``channel`` installs an explicit channel model
+        (:class:`~repro.channel.models.ChannelModel`), taking precedence
+        over the ``loss_rate``/``loss_model`` shims.
+        """
         src_node = self.add_node(src)
         dst_node = self.add_node(dst)
         queue = queue_factory() if queue_factory is not None else DropTailQueue(queue_limit)
@@ -110,6 +116,7 @@ class Network:
             loss_rate,
             jitter=jitter,
             loss_model=loss_model,
+            channel=channel,
         )
         src_node.add_link(link)
         self.links.append(link)
@@ -135,13 +142,16 @@ class Network:
         queue_factory: Optional[Callable[[], PacketQueue]] = None,
         jitter: float = 0.0,
         loss_model_factory: Optional[Callable[[], GilbertElliottLoss]] = None,
+        channel_factory: Optional[Callable[[], Any]] = None,
     ) -> Tuple[Link, Link]:
         """Add a bidirectional link (two unidirectional links) between a and b.
 
         ``reverse_loss_rate`` allows asymmetric loss (used by the lossy
         return-path experiment, Figure 19); it defaults to ``loss_rate``.
         ``loss_model_factory`` builds one stateful loss process (e.g.
-        :class:`~repro.simulator.link.GilbertElliottLoss`) per direction.
+        :class:`~repro.simulator.link.GilbertElliottLoss`) per direction;
+        ``channel_factory`` likewise builds one explicit channel model per
+        direction (channel state is never shared between directions).
         """
         forward = self.add_link(
             a,
@@ -153,6 +163,7 @@ class Network:
             queue_factory,
             jitter,
             loss_model_factory() if loss_model_factory is not None else None,
+            channel_factory() if channel_factory is not None else None,
         )
         backward = self.add_link(
             b,
@@ -164,6 +175,7 @@ class Network:
             queue_factory,
             jitter,
             loss_model_factory() if loss_model_factory is not None else None,
+            channel_factory() if channel_factory is not None else None,
         )
         return forward, backward
 

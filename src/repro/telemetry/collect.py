@@ -35,6 +35,15 @@ def collect_run(tel: Telemetry, built: Any) -> None:
         tel.inc("link.drops", queue_drops, cause="queue")
         tel.inc("link.drops", random_drops, cause="random")
         tel.inc("link.drops", down_drops, cause="down")
+        channel_drops: dict = {}
+        for link in links:
+            for cause, count in getattr(link, "drops_by_cause", {}).items():
+                channel_drops[cause] = channel_drops.get(cause, 0) + count
+        for cause in sorted(channel_drops):
+            # Splits link.drops{cause=random} by the channel model that
+            # decided the drop: random (bernoulli), burst (gilbert_elliott),
+            # per (snr_per), collision (contention).
+            tel.inc("link.channel_drops", channel_drops[cause], cause=cause)
         tel.inc("link.packets_sent", sum(link.packets_sent for link in links))
         tel.inc("link.bytes_sent", sum(link.bytes_sent for link in links))
         tel.gauge_max("queue.peak", max(link.queue_peak for link in links))

@@ -135,6 +135,16 @@ def format_profile(
             queue_line += f", peak queue occupancy {gauges['queue.peak']:g}"
         lines.append(queue_line)
 
+    channel_drops = counters_by_name(snapshot, "link.channel_drops")
+    if channel_drops:
+        parts = [
+            f"{value:,} {labels.get('cause', '?')}"
+            for labels, value in sorted(
+                channel_drops, key=lambda item: item[0].get("cause", "")
+            )
+        ]
+        lines.append("channels: drops " + " / ".join(parts))
+
     cohort_steps = counters.get("cohort.steps")
     if cohort_steps:
         cohort_line = (

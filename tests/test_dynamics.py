@@ -85,7 +85,11 @@ class TestLinkMutation:
         link = Network(sim).add_link("a", "b", 1e6, 0.0)
         link.set_loss_model(GilbertElliottLoss(0.1, 0.5))
         assert link.loss_model is not None
-        link.set_loss_rate(0.25)
+        # Replacing a stateful loss process is no longer silent: the old
+        # behaviour was set_loss_rate doing nothing while the model shadowed
+        # it, so the explicit replacement announces itself.
+        with pytest.warns(RuntimeWarning, match="replaces the active"):
+            link.set_loss_rate(0.25)
         assert link.loss_model is None
         assert link.loss_rate == pytest.approx(0.25)
 

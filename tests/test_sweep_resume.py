@@ -363,6 +363,56 @@ def test_cli_sigkill_then_resume_byte_identical(tmp_path):
     assert store.read_bytes() == ref.read_bytes()
 
 
+WIRELESS_CLI_ARGS = [
+    "sweep",
+    "wireless_last_hop",
+    "--reps",
+    "3",
+    "--seed",
+    "2",
+    "--set",
+    "duration=5.0",
+    "--set",
+    "snr_db=12.5",
+    "--quiet",
+]
+
+
+def test_cli_sigkill_then_resume_wireless_sweep_byte_identical(tmp_path):
+    """Resume-after-SIGKILL must hold for channel-model runs too: the
+    snr_per loss draws, channel trace summary and per-cause drop breakdown
+    are all re-derived from the spec on resume, never from worker state."""
+    ref = tmp_path / "ref.jsonl"
+    assert cli_main(WIRELESS_CLI_ARGS + ["--out", str(ref)]) == 0
+    # The reference runs must have exercised the wireless channel.
+    assert all(
+        json.loads(line)["links"]["channel_drops"]["per"] > 0
+        for line in ref.read_text().splitlines()
+    )
+
+    store = tmp_path / "s.jsonl"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro"] + WIRELESS_CLI_ARGS + ["--out", str(store)],
+        env={**os.environ, "PYTHONPATH": SRC_DIR},
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        # Kill -9 as soon as the first record lands, i.e. mid-sweep.
+        deadline = time.time() + 120
+        while time.time() < deadline and proc.poll() is None:
+            if store.exists() and store.read_bytes().count(b"\n") >= 1:
+                break
+            time.sleep(0.02)
+    finally:
+        proc.kill()
+        proc.wait()
+    assert store.read_bytes().count(b"\n") >= 1
+
+    assert cli_main(WIRELESS_CLI_ARGS + ["--out", str(store)]) == 0
+    assert store.read_bytes() == ref.read_bytes()
+
+
 def test_cli_stop_after_then_resume(tmp_path, capsys):
     ref = tmp_path / "ref.jsonl"
     assert cli_main(CLI_ARGS + ["--out", str(ref)]) == 0
