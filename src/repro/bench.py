@@ -250,6 +250,62 @@ def _bench_sweep_resume(quick: bool) -> Dict[str, Any]:
     }
 
 
+def _bench_serve_roundtrip(quick: bool) -> Dict[str, Any]:
+    """Cold submit vs warm cache-hit latency through the service API.
+
+    Starts a daemon on a Unix socket, submits one fairness run and waits
+    for it (cold: the full HTTP -> scheduler -> worker pool -> cache ->
+    SSE path), then submits the identical payload again (warm: answered
+    from the result cache without simulating).  The delta between the two
+    is the service overhead the tentpole promises to keep negligible next
+    to a simulation.
+    """
+    import tempfile
+
+    from repro.service import ReproService, ServiceClient
+
+    duration = 4.0 if quick else 12.0
+    payload = {
+        "scenario": "fairness",
+        "seed": 1,
+        "params": {"duration": duration, "num_tcp": 2},
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        service = ReproService(
+            os.path.join(tmp, "data"),
+            uds=os.path.join(tmp, "repro.sock"),
+            workers=1,
+        ).start()
+        try:
+            client = ServiceClient(service.endpoint)
+            built_at = time.perf_counter()
+            cold_job = client.submit(payload)
+            assert client.wait(cold_job["id"], timeout=600)["state"] == "done"
+            cold_done = time.perf_counter()
+            warm_job = client.submit(payload)
+            warm = client.wait(warm_job["id"], timeout=600)
+            warm_done = time.perf_counter()
+            assert warm["sources"]["cached"] == 1, "warm submit must not simulate"
+            record = client.result(warm_job["id"])
+        finally:
+            service.shutdown(timeout=60)
+    cold_s = cold_done - built_at
+    warm_s = warm_done - cold_done
+    return {
+        "events": record["events"],
+        "build_s": built_at - start,
+        "run_s": cold_s + warm_s,
+        "seed": 1,
+        "params": {"scenario": "fairness", "duration": duration, "transport": "uds"},
+        "extras": {
+            "cold_s": round(cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "warm_speedup": round(cold_s / warm_s, 1) if warm_s > 0 else 0.0,
+        },
+    }
+
+
 WORKLOADS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "engine_churn": _bench_engine_churn,
     "dumbbell_fairness": _bench_dumbbell_fairness,
@@ -257,6 +313,7 @@ WORKLOADS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "scaling_10k_cohort": _bench_scaling_10k_cohort,
     "wireless_200": _bench_wireless_200,
     "sweep_resume": _bench_sweep_resume,
+    "serve_roundtrip": _bench_serve_roundtrip,
 }
 
 

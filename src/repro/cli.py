@@ -37,6 +37,14 @@ a spec-fingerprint result cache with ``run`` and ``report``::
 Build the paper-figure datasets/plots and verify them against the models::
 
     python -m repro report --quick --check
+
+Run the long-running simulation service and talk to it::
+
+    python -m repro serve --uds /tmp/repro.sock --data results/service --jobs 4
+    python -m repro submit fairness --seed 3 --server unix:///tmp/repro.sock --wait
+    python -m repro status --server unix:///tmp/repro.sock
+    python -m repro watch j00001 --server unix:///tmp/repro.sock
+    python -m repro cancel j00001 --server unix:///tmp/repro.sock
 """
 
 from __future__ import annotations
@@ -508,6 +516,155 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import ReproService
+
+    service = ReproService(
+        data_dir=args.data,
+        host=args.host,
+        port=args.port,
+        uds=args.uds,
+        workers=args.jobs,
+        max_retries=args.retries,
+        verbose=args.verbose,
+    )
+    return service.run()
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.server)
+
+
+def _submit_payload(args: argparse.Namespace) -> Dict[str, Any]:
+    params = {**_parse_set(args.set), **_parse_set(args.override)}
+    if args.engine:
+        params["engine.kind"] = args.engine
+    payload: Dict[str, Any] = {"scenario": args.scenario, "seed": args.seed}
+    if params:
+        payload["params"] = params
+    grid = _parse_grid(args.grid)
+    if grid:
+        payload["grid"] = grid
+    if args.reps != 1:
+        payload["replications"] = args.reps
+    return payload
+
+
+def _print_job_line(job: Dict[str, Any], out) -> None:
+    sources = job.get("sources", {})
+    mix = ", ".join(f"{v} {k}" for k, v in sources.items() if v) or "-"
+    print(
+        f"{job['id']:<8} {job['state']:<10} {str(job.get('scenario')):<22} "
+        f"{job['completed']}/{job['units']} units  ({mix})",
+        file=out,
+    )
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        job = client.submit(_submit_payload(args))
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"submitted {job['id']} ({job['units']} unit(s)) to {client.server}", file=sys.stderr)
+    if not args.wait:
+        print(job["id"])
+        return 0
+    final = client.wait(job["id"], timeout=args.timeout)
+    if final["state"] != "done":
+        print(f"job {job['id']} finished as {final['state']}", file=sys.stderr)
+        return 1
+    result = client.result(job["id"])
+    records = result["records"] if isinstance(result, dict) and "records" in result else [result]
+    if args.json:
+        for record in records:
+            print(encode_record(record))
+    else:
+        for record in records:
+            _summarise(record)
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.job:
+            job = client.job(args.job)
+            if args.json:
+                print(json.dumps(job, indent=2, sort_keys=True))
+            else:
+                _print_job_line(job, sys.stdout)
+            return 0
+        jobs = client.jobs()
+        if args.json:
+            print(json.dumps(jobs, indent=2, sort_keys=True))
+            return 0
+        health = client.health()
+        stats = client.stats()
+        print(
+            f"service {client.server}: {health['status']}, "
+            f"{stats['inflight_tasks']} in flight, {stats['pending_tasks']} pending, "
+            f"{stats['cache_entries']} cached records "
+            f"({stats['cache_hits']} hits / {stats['cache_misses']} misses)",
+            file=sys.stderr,
+        )
+        for job in jobs:
+            _print_job_line(job, sys.stdout)
+        return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        response = client.cancel(args.job)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if response.get("cancelled"):
+        print(f"cancelled {args.job}", file=sys.stderr)
+        return 0
+    print(
+        f"{args.job} already {response.get('state', 'terminal')}; nothing to cancel",
+        file=sys.stderr,
+    )
+    return 1
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    state = None
+    try:
+        for event, data in client.watch(args.job, from_seq=args.from_seq):
+            if args.json:
+                print(json.dumps({"event": event, **data}, sort_keys=True))
+            else:
+                detail = {k: v for k, v in data.items() if k != "seq"}
+                parts = ", ".join(f"{k}={v}" for k, v in sorted(detail.items()))
+                print(f"[{data.get('seq', '?')}] {event}: {parts}")
+            if event == "state":
+                state = data.get("state")
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive interrupt
+        return 130
+    return 0 if state in (None, "done") else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -773,6 +930,101 @@ def build_parser() -> argparse.ArgumentParser:
         f"(default {BENCH_THRESHOLD})",
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    # ------------------------------------------------------------- service
+
+    from repro.service.client import DEFAULT_SERVER, ENV_SERVER
+    from repro.service.server import DEFAULT_HOST, DEFAULT_PORT
+
+    server_help = (
+        f"service address: http://host:port or unix:///path.sock "
+        f"(default ${ENV_SERVER} or {DEFAULT_SERVER})"
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the simulation service daemon (control API + worker pool)",
+    )
+    p_serve.add_argument("--host", default=DEFAULT_HOST, help=f"TCP bind host (default {DEFAULT_HOST})")
+    p_serve.add_argument("--port", type=int, default=DEFAULT_PORT, help=f"TCP port (default {DEFAULT_PORT})")
+    p_serve.add_argument(
+        "--uds",
+        metavar="PATH",
+        help="listen on a Unix domain socket instead of TCP",
+    )
+    p_serve.add_argument(
+        "--data",
+        default=os.path.join("results", "service"),
+        metavar="DIR",
+        help="state directory: job journal, result cache, record store "
+        "(default results/service)",
+    )
+    p_serve.add_argument("--jobs", type=int, default=2, help="worker processes (default 2)")
+    p_serve.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="K",
+        help="retries per failing unit before it is recorded as failed (default 2)",
+    )
+    p_serve.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a run or sweep grid to a running service"
+    )
+    p_submit.add_argument("scenario")
+    p_submit.add_argument("--server", default=None, help=server_help)
+    p_submit.add_argument("--seed", type=int, default=1)
+    p_submit.add_argument("--set", action="append", default=[], metavar="KEY=VALUE")
+    p_submit.add_argument(
+        "--override", action="append", default=[], metavar="PATH=VALUE", help=override_help
+    )
+    p_submit.add_argument("--engine", default=None, help=engine_help)
+    p_submit.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help="sweep axis (repeatable); makes the job a sweep grid",
+    )
+    p_submit.add_argument(
+        "--reps", type=int, default=1, help="seeded replications per grid point (default 1)"
+    )
+    p_submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job finishes, then print its record(s)",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=None, help="give up --wait after this many seconds"
+    )
+    p_submit.add_argument(
+        "--json", action="store_true", help="with --wait: print raw record JSON lines"
+    )
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_status = sub.add_parser("status", help="show service job status")
+    p_status.add_argument("job", nargs="?", help="job id (default: list all jobs)")
+    p_status.add_argument("--server", default=None, help=server_help)
+    p_status.add_argument("--json", action="store_true", help="print raw JSON")
+    p_status.set_defaults(func=cmd_status)
+
+    p_cancel = sub.add_parser("cancel", help="cancel a service job")
+    p_cancel.add_argument("job")
+    p_cancel.add_argument("--server", default=None, help=server_help)
+    p_cancel.set_defaults(func=cmd_cancel)
+
+    p_watch = sub.add_parser(
+        "watch", help="stream a job's progress events (Server-Sent Events)"
+    )
+    p_watch.add_argument("job")
+    p_watch.add_argument("--server", default=None, help=server_help)
+    p_watch.add_argument(
+        "--from-seq", type=int, default=0, help="replay events starting at this sequence"
+    )
+    p_watch.add_argument("--json", action="store_true", help="print events as JSON lines")
+    p_watch.set_defaults(func=cmd_watch)
     return parser
 
 

@@ -23,7 +23,14 @@ import copy
 import hashlib
 import json
 import os
-from typing import Any, Dict, Mapping, Optional
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - Windows: in-process lock only
+    fcntl = None  # type: ignore[assignment]
 
 #: Hex digits kept from the sha256 digest; 64 bits of collision resistance
 #: is ample for result-cache sizes while keeping records and manifests short.
@@ -65,9 +72,15 @@ class ResultCache:
     :attr:`misses` so callers can report cache effectiveness.
 
     The cache is safe to share across sequential invocations (warm re-runs)
-    and across the run/sweep/report/bench entry points; concurrent *writer*
-    processes should use distinct cache files and merge them, like sweep
-    shards do.
+    and across the run/sweep/report/bench entry points.  Concurrent access
+    is coordinated on two levels: a ``threading.Lock`` serialises the
+    in-memory index against the service daemon's handler threads, and index
+    appends take an advisory ``flock`` on a sibling ``<path>.lock`` file so
+    that several *processes* writing the same cache (the daemon plus batch
+    ``repro run --cache`` invocations, or sweep workers pointed at one
+    file) cannot interleave partial index lines.  Readers of an
+    append-only JSONL file need no lock — a torn trailing line is skipped
+    by the loader.
     """
 
     def __init__(self, path: str):
@@ -75,6 +88,25 @@ class ResultCache:
         self._index: Optional[Dict[str, Dict[str, Any]]] = None
         self.hits = 0
         self.misses = 0
+        self._mutex = threading.Lock()
+
+    # ------------------------------------------------------------- locking
+
+    @contextmanager
+    def _file_lock(self) -> Iterator[None]:
+        """Advisory cross-process lock held around index appends."""
+        if fcntl is None:  # pragma: no cover - Windows
+            yield
+            return
+        lock_path = self.path + ".lock"
+        directory = os.path.dirname(os.path.abspath(lock_path))
+        os.makedirs(directory, exist_ok=True)
+        with open(lock_path, "a") as lock_fh:
+            fcntl.flock(lock_fh.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock_fh.fileno(), fcntl.LOCK_UN)
 
     # ------------------------------------------------------------- loading
 
@@ -104,12 +136,13 @@ class ResultCache:
         Returns a deep copy: callers stamp their own ``run`` provenance into
         the result, which must not leak back into the index.
         """
-        record = self._load().get(key)
-        if record is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return copy.deepcopy(record)
+        with self._mutex:
+            record = self._load().get(key)
+            if record is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return copy.deepcopy(record)
 
     def put(self, key: str, record: Mapping[str, Any]) -> bool:
         """Cache ``record`` (provenance stripped) under ``key``.
@@ -118,19 +151,37 @@ class ResultCache:
         untouched (first write wins — records are pure, so any duplicate
         would be identical anyway).
         """
-        index = self._load()
-        if key in index:
-            return False
-        entry = pure_record(record)
-        index[key] = copy.deepcopy(entry)
-        directory = os.path.dirname(os.path.abspath(self.path))
-        os.makedirs(directory, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as fh:
-            fh.write(canonical_json({"fingerprint": key, "record": entry}) + "\n")
+        with self._mutex:
+            index = self._load()
+            if key in index:
+                return False
+            entry = pure_record(record)
+            index[key] = copy.deepcopy(entry)
+            directory = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(directory, exist_ok=True)
+            # The flock serialises appends across processes; the single
+            # full-line write keeps the JSONL stream corruption-free even
+            # if this process dies mid-append (readers skip a torn tail).
+            with self._file_lock():
+                with open(self.path, "a", encoding="utf-8") as fh:
+                    fh.write(
+                        canonical_json({"fingerprint": key, "record": entry}) + "\n"
+                    )
         return True
 
+    def refresh(self) -> None:
+        """Drop the in-memory index so the next access re-reads the file.
+
+        Lets a long-running process (the service daemon) pick up entries
+        appended by other processes sharing the cache file.
+        """
+        with self._mutex:
+            self._index = None
+
     def __contains__(self, key: str) -> bool:
-        return key in self._load()
+        with self._mutex:
+            return key in self._load()
 
     def __len__(self) -> int:
-        return len(self._load())
+        with self._mutex:
+            return len(self._load())

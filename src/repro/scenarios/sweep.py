@@ -269,6 +269,15 @@ def _failure_record(run: SweepRun, error: str, retries: int) -> Dict[str, Any]:
     }
 
 
+# Public names for the pieces the simulation service (repro.service) reuses:
+# the pool worker entry point, the terminal-failure record shape and the
+# memoised spec resolution are one implementation shared by batch sweeps and
+# the daemon's persistent worker pool.
+pool_execute = _pool_execute
+failure_record = _failure_record
+resolve_spec_cached = _resolve_spec_cached
+
+
 # ------------------------------------------------------------------ manifest
 
 

@@ -1,0 +1,49 @@
+"""Long-running simulation service: daemon, scheduler, job model, client.
+
+* :mod:`repro.service.server` — ``repro serve``: HTTP/UDS control API with
+  SSE progress streaming and Prometheus ``/metrics``,
+* :mod:`repro.service.scheduler` — persistent worker pool with fingerprint
+  coalescing, result-cache answers and journal-driven crash recovery,
+* :mod:`repro.service.jobs` — job state machine and the crash-safe journal,
+* :mod:`repro.service.client` — :class:`ServiceClient` used by the
+  ``repro submit/status/cancel/watch`` subcommands.
+
+Quick use::
+
+    from repro.service import ReproService, ServiceClient
+
+    service = ReproService("results/service", uds="/tmp/repro.sock").start()
+    client = ServiceClient(service.endpoint)
+    job = client.submit({"scenario": "fairness", "seed": 3,
+                         "params": {"duration": 4.0}})
+    client.wait(job["id"])
+    record = client.result(job["id"])
+"""
+
+from repro.service.client import (
+    DEFAULT_SERVER,
+    ENV_SERVER,
+    ServiceClient,
+    ServiceError,
+    default_server,
+)
+from repro.service.jobs import Job, JobJournal, expand_payload
+from repro.service.scheduler import Scheduler, ServiceDraining, UnknownJob
+from repro.service.server import DEFAULT_HOST, DEFAULT_PORT, ReproService
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "DEFAULT_SERVER",
+    "ENV_SERVER",
+    "Job",
+    "JobJournal",
+    "ReproService",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceDraining",
+    "ServiceError",
+    "UnknownJob",
+    "default_server",
+    "expand_payload",
+]

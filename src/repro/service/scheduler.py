@@ -1,0 +1,566 @@
+"""Job scheduler: a persistent worker pool with coalescing and recovery.
+
+The scheduler owns the daemon's long-lived state: the job table, the
+fingerprint-keyed task queue, one :class:`ProcessPoolExecutor` shared by
+every job, the spec-fingerprint :class:`~repro.scenarios.cache.ResultCache`,
+the service :class:`~repro.scenarios.store.ResultStore` and the
+:class:`~repro.service.jobs.JobJournal`.
+
+Execution reuses the sweep runner's machinery wholesale: units are
+:class:`~repro.scenarios.sweep.SweepRun` objects executed by the same
+:func:`~repro.scenarios.sweep.pool_execute` worker entry point (never
+raises; failures come back as error strings and are retried up to
+``max_retries``), and a worker that dies abruptly breaks the pool, which
+is rebuilt with blame attached to the fingerprint whose future broke —
+after ``max_retries`` rebuilds that unit is failed instead of resubmitted,
+so one poisonous spec cannot wedge the service.
+
+Deduplication is the service's headline trick: tasks are keyed by spec
+fingerprint, so two clients submitting the same ``(spec, seed)`` share one
+simulation (*in-flight coalescing*, counted in ``service.units_coalesced``)
+and anything already in the result cache is answered instantly without
+touching the pool at all.
+
+Threading model: HTTP handler threads call :meth:`submit`, :meth:`cancel`
+and the read accessors; one internal dispatcher thread consumes an event
+queue (new units, future completions, drain).  All mutable state is
+guarded by one re-entrant lock — the per-event critical sections are tiny
+compared to a simulation, so contention is irrelevant.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.scenarios.cache import ResultCache, pure_record
+from repro.scenarios.store import ResultStore
+from repro.scenarios.sweep import (
+    SweepRun,
+    failure_record,
+    pool_execute,
+    resolve_spec_cached,
+    run_fingerprint,
+    stamp_record,
+)
+from repro.service.jobs import Job, JobJournal, expand_payload
+from repro.telemetry.core import Telemetry
+
+
+class ServiceDraining(RuntimeError):
+    """Raised by :meth:`Scheduler.submit` once a drain has begun (HTTP 503)."""
+
+
+class UnknownJob(KeyError):
+    """Raised for job ids the scheduler has never seen (HTTP 404)."""
+
+
+@dataclass
+class _Task:
+    """One distinct (spec, seed) simulation and the units waiting on it."""
+
+    fingerprint: str
+    run: SweepRun
+    waiters: List[Tuple[Job, int]] = field(default_factory=list)
+    attempts: int = 0
+
+
+class Scheduler:
+    """Persistent job scheduler behind the HTTP control API."""
+
+    #: In-flight window multiplier (tasks dispatched per worker slot).
+    WINDOW = 2
+
+    def __init__(
+        self,
+        data_dir: str,
+        workers: int = 2,
+        max_retries: int = 2,
+        verbose: bool = False,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        os.makedirs(data_dir, exist_ok=True)
+        self.data_dir = data_dir
+        self.workers = workers
+        self.max_retries = max_retries
+        self.verbose = verbose
+        self.cache = ResultCache(os.path.join(data_dir, "cache.jsonl"))
+        self.store = ResultStore(os.path.join(data_dir, "store.jsonl"))
+        self.journal = JobJournal(os.path.join(data_dir, "journal.jsonl"))
+        self.telemetry = Telemetry()
+        self.started = time.time()
+
+        self._lock = threading.RLock()
+        self._jobs: "Dict[str, Job]" = {}
+        self._results: Dict[str, Dict[int, Dict[str, Any]]] = {}
+        self._tasks: Dict[str, _Task] = {}
+        self._pending: "deque[str]" = deque()
+        self._inflight: Dict[str, Future] = {}
+        self._generation = 0
+        self._counter = 0
+        self._draining = False
+        self._drained = threading.Event()
+        self._events: "queue.Queue[Tuple[str, Any]]" = queue.Queue()
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+        self._recover()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-scheduler", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------ client API
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def submit(self, payload: Dict[str, Any]) -> Job:
+        """Validate, journal and enqueue one submission; returns its Job.
+
+        Raises :class:`ServiceDraining` during shutdown and ``ValueError``
+        (or ``KeyError`` for unknown scenario names) on malformed payloads.
+        """
+        if self._draining:
+            raise ServiceDraining("service is draining; not accepting submissions")
+        units = expand_payload(payload)
+        fingerprints = [run_fingerprint(unit) for unit in units]
+        with self._lock:
+            self._counter += 1
+            job = Job(
+                id=f"j{self._counter:05d}",
+                payload=dict(payload),
+                units=units,
+                fingerprints=fingerprints,
+            )
+            self._jobs[job.id] = job
+            self._results[job.id] = {}
+        self.journal.append({"op": "submit", "id": job.id, "payload": job.payload})
+        self.telemetry.inc("service.jobs_submitted")
+        self.telemetry.inc("service.units_submitted", len(units))
+        job.emit("queued", units=job.total)
+        self._events.put(("units", (job, list(range(job.total)))))
+        return job
+
+    def job(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise UnknownJob(job_id) from None
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job; returns False when it already reached a terminal state.
+
+        Pending units are dropped immediately.  A unit already in flight
+        cannot be preempted inside its worker process — its result is still
+        cached on arrival (it is a pure record) but no longer delivered to
+        this job.  Coalesced units of *other* jobs sharing a fingerprint
+        keep waiting and are unaffected.
+        """
+        with self._lock:
+            job = self.job(job_id)
+            if job.terminal:
+                return False
+            job.state = "cancelled"
+            job.finished = time.time()
+            for task in self._tasks.values():
+                task.waiters = [(j, i) for j, i in task.waiters if j is not job]
+        self.journal.append({"op": "state", "id": job.id, "state": "cancelled"})
+        self.telemetry.inc("service.jobs_cancelled")
+        job.emit("state", state="cancelled", completed=job.completed, total=job.total)
+        return True
+
+    def result(self, job_id: str) -> Optional[List[Dict[str, Any]]]:
+        """Stamped records of a finished job in unit order, or None if unfinished.
+
+        After a restart the in-memory record table is empty for replayed
+        jobs; records are then reconstructed from the result cache by
+        fingerprint — byte-identical, since stamping is deterministic.
+        """
+        with self._lock:
+            job = self.job(job_id)
+            if not job.terminal:
+                return None
+            held = self._results.get(job.id, {})
+            records: List[Dict[str, Any]] = []
+            for index in sorted(job.done_units | set(job.failed_units)):
+                record = held.get(index)
+                if record is None:
+                    record = self._reconstruct(job, index)
+                if record is not None:
+                    records.append(record)
+            return records
+
+    def _reconstruct(self, job: Job, index: int) -> Optional[Dict[str, Any]]:
+        if index in job.failed_units:
+            return failure_record(
+                job.units[index], job.failed_units[index], self.max_retries
+            )
+        pure = self.cache.get(job.fingerprints[index])
+        if pure is None:
+            return None
+        return self._stamp(job, index, pure)
+
+    def _stamp(self, job: Job, index: int, pure: Dict[str, Any]) -> Dict[str, Any]:
+        run = job.units[index]
+        spec = resolve_spec_cached(run)
+        return stamp_record(copy.deepcopy(pure), run, spec, job.fingerprints[index])
+
+    # ---------------------------------------------------------------- stats
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            by_state: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+            return {
+                "jobs": by_state,
+                "pending_tasks": len(self._pending),
+                "inflight_tasks": len(self._inflight),
+                "distinct_tasks": len(self._tasks),
+                "cache_entries": len(self.cache),
+                "cache_hits": self.cache.hits,
+                "cache_misses": self.cache.misses,
+                "workers": self.workers,
+                "draining": self._draining,
+                "uptime_s": round(time.time() - self.started, 3),
+            }
+
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        """Service counters plus live queue gauges (for ``/metrics``)."""
+        with self._lock:
+            self.telemetry.gauge("service.jobs_active", sum(
+                1 for job in self._jobs.values() if not job.terminal
+            ))
+            self.telemetry.gauge("service.tasks_pending", len(self._pending))
+            self.telemetry.gauge("service.tasks_inflight", len(self._inflight))
+            self.telemetry.gauge("service.cache_entries", len(self.cache))
+            return self.telemetry.snapshot()
+
+    # ------------------------------------------------------------- recovery
+
+    def _recover(self) -> None:
+        """Rebuild the job table from the journal and requeue unfinished work."""
+        entries = JobJournal.replay(self.journal.path)
+        if not entries:
+            return
+        recovered = 0
+        for entry in entries:
+            op = entry.get("op")
+            if op == "submit":
+                job_id = entry["id"]
+                payload = entry.get("payload") or {}
+                try:
+                    units = expand_payload(payload)
+                    fingerprints = [run_fingerprint(unit) for unit in units]
+                except Exception as exc:  # scenario gone, spec invalid, ...
+                    job = Job(id=job_id, payload=dict(payload), units=[], fingerprints=[])
+                    job.state = "failed"
+                    job.failed_units[0] = f"unrecoverable payload: {exc}"
+                    self._jobs[job_id] = job
+                    self._results[job_id] = {}
+                    continue
+                job = Job(
+                    id=job_id,
+                    payload=dict(payload),
+                    units=units,
+                    fingerprints=fingerprints,
+                )
+                self._jobs[job_id] = job
+                self._results[job_id] = {}
+            elif op == "unit":
+                job = self._jobs.get(entry.get("id"))
+                if job is None or not 0 <= entry.get("unit", -1) < job.total:
+                    continue
+                index = entry["unit"]
+                if entry.get("status") == "failed":
+                    job.failed_units[index] = entry.get("error", "unknown")
+                else:
+                    job.done_units.add(index)
+                    job.sources[index] = entry.get("source", "executed")
+            elif op == "state":
+                job = self._jobs.get(entry.get("id"))
+                if job is not None and entry.get("state") in (
+                    "queued", "running", "done", "failed", "cancelled"
+                ):
+                    job.state = entry["state"]
+                    if job.terminal:
+                        job.finished = entry.get("ts")
+        for job_id, job in self._jobs.items():
+            number = int(job_id[1:]) if job_id[1:].isdigit() else 0
+            self._counter = max(self._counter, number)
+            if job.terminal:
+                continue
+            remaining = [
+                index
+                for index in range(job.total)
+                if index not in job.done_units and index not in job.failed_units
+            ]
+            if not remaining:
+                self._finalise(job)
+                continue
+            recovered += 1
+            job.emit(
+                "recovered", completed=job.completed, total=job.total, state=job.state
+            )
+            self._events.put(("units", (job, remaining)))
+        if recovered:
+            self.telemetry.inc("service.jobs_recovered", recovered)
+        if self.verbose and self._jobs:
+            import sys
+
+            print(
+                f"journal replay: {len(self._jobs)} job(s), "
+                f"{recovered} requeued",
+                file=sys.stderr,
+            )
+
+    # ------------------------------------------------------------ internals
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def _loop(self) -> None:
+        while True:
+            kind, arg = self._events.get()
+            if kind == "stop":
+                break
+            try:
+                if kind == "units":
+                    job, indices = arg
+                    self._handle_units(job, indices)
+                elif kind == "done":
+                    self._handle_done(*arg)
+                # "poke" falls through to the drain check below.
+            except Exception:  # pragma: no cover - keep the dispatcher alive
+                import traceback
+
+                traceback.print_exc()
+            with self._lock:
+                if self._draining and not self._inflight:
+                    self._drained.set()
+
+    def _handle_units(self, job: Job, indices: List[int]) -> None:
+        with self._lock:
+            if job.terminal:
+                return
+            for index in indices:
+                if job.terminal:
+                    break
+                fingerprint = job.fingerprints[index]
+                pure = self.cache.get(fingerprint)
+                if pure is not None:
+                    self.telemetry.inc("service.units_cached")
+                    self._complete_unit(job, index, pure, source="cached")
+                    continue
+                task = self._tasks.get(fingerprint)
+                if task is not None:
+                    task.waiters.append((job, index))
+                    self.telemetry.inc("service.units_coalesced")
+                    job.emit("coalesced", unit=index, fingerprint=fingerprint)
+                    continue
+                self._tasks[fingerprint] = _Task(
+                    fingerprint=fingerprint,
+                    run=job.units[index],
+                    waiters=[(job, index)],
+                )
+                self._pending.append(fingerprint)
+            if not job.terminal and job.state == "queued":
+                job.state = "running"
+                self.journal.append({"op": "state", "id": job.id, "state": "running"})
+                job.emit("state", state="running", completed=job.completed, total=job.total)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        with self._lock:
+            if self._draining:
+                return
+            window = self.workers * self.WINDOW
+            while self._pending and len(self._inflight) < window:
+                fingerprint = self._pending.popleft()
+                task = self._tasks.get(fingerprint)
+                if task is None or fingerprint in self._inflight:
+                    continue
+                if not task.waiters:  # every waiter cancelled before dispatch
+                    del self._tasks[fingerprint]
+                    continue
+                future = self._ensure_executor().submit(pool_execute, task.run)
+                self._inflight[fingerprint] = future
+                generation = self._generation
+                future.add_done_callback(
+                    lambda f, fp=fingerprint, gen=generation: self._events.put(
+                        ("done", (fp, gen, f))
+                    )
+                )
+
+    def _handle_done(self, fingerprint: str, generation: int, future: Future) -> None:
+        with self._lock:
+            if generation != self._generation:
+                return  # stale future from before a pool rebuild
+            self._inflight.pop(fingerprint, None)
+            task = self._tasks.get(fingerprint)
+            if task is None:
+                return
+            try:
+                _index, record, error, _wall = future.result()
+            except BrokenProcessPool:
+                self._rebuild_pool(blame=fingerprint)
+                return
+            except Exception as exc:  # cancelled futures during shutdown etc.
+                record, error = None, f"{type(exc).__name__}: {exc}"
+            if error is not None:
+                task.attempts += 1
+                if task.attempts <= self.max_retries:
+                    self.telemetry.inc("service.units_retried")
+                    self._pending.appendleft(fingerprint)
+                else:
+                    self._fail_task(task, error)
+                    del self._tasks[fingerprint]
+            else:
+                pure = pure_record(record)
+                self.cache.put(fingerprint, pure)
+                self.telemetry.inc("service.units_executed")
+                for position, (job, index) in enumerate(task.waiters):
+                    if job.terminal:
+                        continue
+                    source = "executed" if position == 0 else "coalesced"
+                    self._complete_unit(job, index, pure, source=source)
+                del self._tasks[fingerprint]
+        self._dispatch()
+
+    def _rebuild_pool(self, blame: str) -> None:
+        """Replace a broken executor and resubmit its in-flight tasks."""
+        self.telemetry.inc("service.pool_rebuilds")
+        self._generation += 1
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        survivors = list(self._inflight)
+        self._inflight.clear()
+        for fingerprint in survivors:
+            task = self._tasks.get(fingerprint)
+            if task is None:
+                continue
+            if fingerprint == blame:
+                task.attempts += 1
+                if task.attempts > self.max_retries:
+                    self._fail_task(
+                        task,
+                        "worker process died while executing this run "
+                        f"({task.attempts} attempts)",
+                    )
+                    del self._tasks[fingerprint]
+                    continue
+                self.telemetry.inc("service.units_retried")
+            self._pending.appendleft(fingerprint)
+        self._dispatch()
+
+    def _fail_task(self, task: _Task, error: str) -> None:
+        for job, index in task.waiters:
+            if job.terminal:
+                continue
+            job.failed_units[index] = error
+            self._results[job.id][index] = failure_record(
+                job.units[index], error, self.max_retries
+            )
+            self.telemetry.inc("service.units_failed")
+            self.journal.append(
+                {
+                    "op": "unit",
+                    "id": job.id,
+                    "unit": index,
+                    "status": "failed",
+                    "fingerprint": task.fingerprint,
+                    "error": error,
+                }
+            )
+            job.emit(
+                "unit",
+                unit=index,
+                status="failed",
+                error=error,
+                completed=job.completed,
+                total=job.total,
+            )
+            if job.completed >= job.total:
+                self._finalise(job)
+
+    def _complete_unit(
+        self, job: Job, index: int, pure: Dict[str, Any], source: str
+    ) -> None:
+        stamped = self._stamp(job, index, pure)
+        self.store.append(stamped)
+        job.done_units.add(index)
+        job.sources[index] = source
+        self._results[job.id][index] = stamped
+        self.journal.append(
+            {
+                "op": "unit",
+                "id": job.id,
+                "unit": index,
+                "status": "done",
+                "fingerprint": job.fingerprints[index],
+                "source": source,
+            }
+        )
+        job.emit(
+            "unit",
+            unit=index,
+            status="done",
+            source=source,
+            completed=job.completed,
+            total=job.total,
+            tfmcc_mean_bps=stamped.get("tfmcc_mean_bps"),
+        )
+        if job.completed >= job.total:
+            self._finalise(job)
+
+    def _finalise(self, job: Job) -> None:
+        job.state = "failed" if job.failed_units else "done"
+        job.finished = time.time()
+        self.journal.append({"op": "state", "id": job.id, "state": job.state})
+        self.telemetry.inc(f"service.jobs_{job.state}")
+        job.emit("state", state=job.state, completed=job.completed, total=job.total)
+
+    # ------------------------------------------------------------- shutdown
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Refuse new work, let in-flight units finish, checkpoint the journal.
+
+        Queued-but-undispatched units stay in the journal and resume on the
+        next start.  Returns True when the pool drained within ``timeout``.
+        """
+        self._draining = True
+        self._events.put(("poke", None))
+        drained = self._drained.wait(timeout)
+        with self._lock:
+            self.journal.compact(self._jobs)
+        if self._executor is not None:
+            self._executor.shutdown(wait=drained, cancel_futures=not drained)
+            self._executor = None
+        return drained
+
+    def close(self) -> None:
+        """Stop the dispatcher thread and release the journal handle."""
+        self._events.put(("stop", None))
+        self._thread.join(timeout=10.0)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self.journal.close()

@@ -49,9 +49,23 @@ def test_bursty_vs_uniform_loss_example(monkeypatch, capsys):
     assert "burst=  8 pkts" in out
 
 
+def test_service_roundtrip_example(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "service_roundtrip.py", 0.1)
+    assert "service listening on unix://" in out
+    assert "cold submit: job j00001" in out
+    assert "answered from the result cache" in out
+    assert "daemon drained; journal checkpointed" in out
+
+
 @pytest.mark.parametrize(
     "script",
-    ["quickstart.py", "heterogeneous_receivers.py", "video_stream_vs_tcp.py", "bursty_vs_uniform_loss.py"],
+    [
+        "quickstart.py",
+        "heterogeneous_receivers.py",
+        "video_stream_vs_tcp.py",
+        "bursty_vs_uniform_loss.py",
+        "service_roundtrip.py",
+    ],
 )
 def test_examples_have_time_scale_flag(script):
     with open(os.path.join(EXAMPLES_DIR, script)) as fh:
